@@ -1,0 +1,68 @@
+"""Ablation: the frequency interleaver under multipath.
+
+Design question (paper section 4): interleaving coded bits onto
+non-adjacent subcarriers mitigates frequency-selective fading.
+Expected: under a multi-tap channel, the interleaved PHY delivers far
+more frames than the non-interleaved one at the same SNR; under flat
+fading the two are statistically identical (the permutation is then
+irrelevant) — confirming the mechanism rather than a side effect.
+"""
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.analysis.tables import format_table
+from repro.channel.awgn import apply_channel
+from repro.channel.multipath import FrequencySelectiveChannel
+from repro.phy.snr import db_to_linear
+from repro.phy.transceiver import Transceiver
+
+
+def _delivery_rate(use_interleaver, selective, n_frames=15,
+                   snr_db=13.0):
+    rng = np.random.default_rng(7)
+    phy = Transceiver(use_interleaver=use_interleaver)
+    payload = rng.integers(0, 2, 1600).astype(np.uint8)
+    tx = phy.transmit(payload, rate_index=3)
+    delivered = 0
+    for seed in range(n_frames):
+        if selective:
+            channel = FrequencySelectiveChannel(
+                128, np.random.default_rng(seed + 50), n_taps=10,
+                doppler_hz=5.0)
+            gains = channel.gains(0.0, tx.layout.n_symbols,
+                                  phy.mode.symbol_time)
+        else:
+            gains = np.ones(tx.layout.n_symbols, dtype=complex)
+        rx_sym, g = apply_channel(tx.symbols, gains,
+                                  db_to_linear(-snr_db),
+                                  np.random.default_rng(seed))
+        rx = phy.receive(rx_sym, g, tx.layout, tx_frame=tx)
+        delivered += rx.crc_ok
+    return delivered / n_frames
+
+
+def _sweep():
+    return {
+        ("interleaved", "multipath"): _delivery_rate(True, True),
+        ("straight", "multipath"): _delivery_rate(False, True),
+        ("interleaved", "flat"): _delivery_rate(True, False),
+        ("straight", "flat"): _delivery_rate(False, False),
+    }
+
+
+def test_ablation_interleaver(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    rows = [[il, ch, f"{rate:.0%}"]
+            for (il, ch), rate in results.items()]
+    emit("Ablation: frequency interleaver x channel type "
+         "(delivery rate, QPSK 3/4 at 13 dB)",
+         format_table(["interleaver", "channel", "delivered"], rows))
+
+    # Under multipath the interleaver is decisive.
+    assert results[("interleaved", "multipath")] >= \
+        results[("straight", "multipath")] + 0.25
+    # Under flat fading it is irrelevant.
+    assert abs(results[("interleaved", "flat")]
+               - results[("straight", "flat")]) <= 0.15

@@ -1,0 +1,43 @@
+"""Fig. 1: SNR and BER fluctuations over a walking fading channel.
+
+Expected shape: large-scale decay over the 10 s window; multipath
+fades tens of milliseconds long and >15 dB deep in the 350 ms detail;
+BER swinging over many orders of magnitude with the fades.
+"""
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig01_channel import run_fig1
+
+
+def test_fig1_channel_variation(benchmark):
+    data = run_once(benchmark, run_fig1, seed=1)
+
+    half = data.window_snr_db.size // 2
+    early = float(np.median(data.window_snr_db[:half]))
+    late = float(np.median(data.window_snr_db[half:]))
+    fades = data.fade_durations_ms()
+    rows = [
+        ["median SNR, first 5 s (dB)", f"{early:.1f}"],
+        ["median SNR, last 5 s (dB)", f"{late:.1f}"],
+        ["detail-window fade depth (dB)", f"{data.fade_depth_db():.1f}"],
+        ["fades in 350 ms detail", len(fades)],
+        ["median fade duration (ms)",
+         f"{np.median(fades):.1f}" if fades else "-"],
+        ["BER dynamic range (decades)",
+         f"{np.log10(max(data.ber.max(), 1e-12) / max(data.ber.min(), 1e-12)):.0f}"],
+    ]
+    emit("Fig. 1: walking-channel variation", format_table(
+        ["quantity", "value"], rows))
+
+    # Large-scale decay while walking away.
+    assert late < early - 3.0
+    # Multipath fades: deep and tens of ms long.
+    assert data.fade_depth_db() > 15.0
+    assert len(fades) >= 1
+    if fades:
+        assert 1.0 < float(np.median(fades)) < 200.0
+    # BER rides the fades across orders of magnitude.
+    assert data.ber.max() > 1e3 * max(data.ber.min(), 1e-12)

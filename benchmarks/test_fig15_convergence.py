@@ -1,0 +1,67 @@
+"""Fig. 15: convergence of frame-level protocols after a channel step.
+
+Expected shape (paper): after the optimal rate steps between QAM16 3/4
+and QAM16 1/2, RRAA re-converges within tens of milliseconds (15-85 ms
+measured by the paper), SampleRate within hundreds (600-650 ms), RRAA's
+choice wobbles even in steady state, and SoftRate (shown for contrast)
+converges within a frame or two.
+"""
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig15_convergence import run_fig15
+from repro.rateadapt import Rraa, SampleRate, SoftRate
+
+
+def _median_ms(values):
+    return float(np.median(values)) * 1e3 if values else float("nan")
+
+
+def _run_all():
+    results = {}
+    for name, factory in [
+        ("SoftRate", lambda rates, trace: SoftRate(rates)),
+        ("RRAA", lambda rates, trace: Rraa(rates)),
+        ("SampleRate", lambda rates, trace: SampleRate(rates)),
+    ]:
+        results[name] = run_fig15(factory)
+    return results
+
+
+def test_fig15_convergence(benchmark):
+    results = run_once(benchmark, _run_all)
+
+    rows = []
+    summary = {}
+    for name, res in results.items():
+        ct = res.convergence_times()
+        to_bad = _median_ms(ct["to_bad"])
+        to_good = _median_ms(ct["to_good"])
+        instability = res.instability()
+        summary[name] = (to_bad, to_good, instability)
+        rows.append([name, f"{to_bad:.1f}", f"{to_good:.1f}",
+                     f"{instability:.1f}"])
+    emit("Fig. 15: convergence after a channel step",
+         format_table(["algorithm", "to lower rate (ms)",
+                       "to higher rate (ms)", "rate switches/s"],
+                      rows))
+
+    soft_bad, soft_good, soft_wobble = summary["SoftRate"]
+    rraa_bad, rraa_good, rraa_wobble = summary["RRAA"]
+    sr_bad, sr_good, _sr_wobble = summary["SampleRate"]
+
+    # SoftRate: a frame or two.
+    assert soft_bad < 5.0 and soft_good < 5.0
+    assert soft_wobble < 5.0
+    # RRAA: tens of ms (needs a window of losses), wobbly in steady
+    # state (the paper's "instability of RRAA's rate choice").
+    assert 1.0 < rraa_bad < 100.0
+    assert 1.0 < rraa_good < 200.0
+    assert rraa_wobble > 5 * max(soft_wobble, 0.1)
+    # SampleRate: hundreds of ms (the averaging window must drain).
+    assert sr_bad > 3 * rraa_bad
+    assert sr_good > 100.0
+    # Ordering: SoftRate << RRAA << SampleRate.
+    assert soft_bad < rraa_bad < sr_bad

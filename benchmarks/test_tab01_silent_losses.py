@@ -1,0 +1,71 @@
+"""Table 1 and Fig. 4: silent losses under hidden-terminal collisions.
+
+Expected shape (paper): the fraction of frames losing both preamble
+and postamble stays modest (paper: under 15%) for the *large*-frame
+sender; with unequal sizes the small-frame sender suffers more (it can
+be fully contained in the larger frame) while the large-frame sender
+barely suffers (~1%); and runs of 3+ consecutive silent losses are
+uncommon — the basis for SoftRate's 3-silent-loss rule.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.tables import format_table
+from repro.experiments.tab01_silent import run_silent_loss_experiment
+
+
+def _run_both():
+    equal = run_silent_loss_experiment(frame_bytes=(1400, 1400),
+                                       duration=4.0)
+    unequal = run_silent_loss_experiment(frame_bytes=(100, 1400),
+                                         duration=4.0)
+    return equal, unequal
+
+
+def _ccdf_at(ccdf_points, run_length):
+    value = 0.0
+    for x, p in ccdf_points:
+        if x >= run_length:
+            return p
+        value = p
+    return 0.0
+
+
+def test_table1_and_fig4(benchmark):
+    equal, unequal = run_once(benchmark, _run_both)
+
+    rows = [
+        ["1400 B / 1400 B", f"{equal.silent_fraction[1]:.0%}",
+         f"{equal.silent_fraction[2]:.0%}"],
+        ["100 B / 1400 B", f"{unequal.silent_fraction[1]:.0%}",
+         f"{unequal.silent_fraction[2]:.0%}"],
+    ]
+    emit("Table 1: frames losing preamble AND postamble",
+         format_table(["frame sizes", "f1", "f2"], rows))
+
+    fig4 = []
+    for label, result in [("equal", equal), ("unequal", unequal)]:
+        for sender in (1, 2):
+            fig4.append([
+                f"{label} s{sender}",
+                f"{_ccdf_at(result.silent_run_ccdf[sender], 2):.3f}",
+                f"{_ccdf_at(result.silent_run_ccdf[sender], 3):.3f}",
+                f"{_ccdf_at(result.silent_run_ccdf[sender], 5):.3f}",
+            ])
+    emit("Fig. 4: CCDF of consecutive silent-loss runs",
+         format_table(["sender", "P(run>=2)", "P(run>=3)", "P(run>=5)"],
+                      fig4))
+
+    # Equal sizes: both senders suffer comparably and modestly.
+    assert equal.silent_fraction[1] < 0.35
+    assert equal.silent_fraction[2] < 0.35
+    ratio = equal.silent_fraction[1] / max(equal.silent_fraction[2],
+                                           1e-9)
+    assert 0.5 < ratio < 2.0
+    # Unequal: the small-frame sender suffers more, the large-frame
+    # sender much less (paper: 14% vs 1%).
+    assert unequal.silent_fraction[1] > 3 * unequal.silent_fraction[2]
+    assert unequal.silent_fraction[2] < 0.08
+    # Long runs are uncommon: P(run >= 3) well below P(run >= 1) = 1.
+    for sender in (1, 2):
+        assert _ccdf_at(equal.silent_run_ccdf[sender], 3) < 0.35

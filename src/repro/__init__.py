@@ -1,0 +1,38 @@
+"""SoftRate: cross-layer wireless bit rate adaptation (SIGCOMM 2009).
+
+A full-system reproduction of Vutukuru, Balakrishnan, and Jamieson's
+SoftRate: an 802.11a/g-like OFDM PHY with a soft-output (BCJR) decoder,
+SoftPHY hint extraction, BER-driven rate adaptation, the frame-level
+and SNR-based baselines it is compared against, and a discrete-event
+wireless network simulator with TCP for the end-to-end evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import Transceiver, apply_channel
+    from repro.core import frame_ber_estimate
+
+    rng = np.random.default_rng(1)
+    phy = Transceiver()
+    tx = phy.transmit(np.zeros(800, dtype=np.uint8), rate_index=3)
+    gains = np.ones(tx.layout.n_symbols)
+    rx_symbols, gains = apply_channel(tx.symbols, gains, 0.25, rng)
+    rx = phy.receive(rx_symbols, gains, tx.layout, tx_frame=tx)
+    print(rx.crc_ok, frame_ber_estimate(rx.hints), rx.true_ber)
+"""
+
+from repro.phy import RATE_TABLE, MODES, Rate, RateTable, Transceiver, RxResult
+from repro.channel import apply_channel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RATE_TABLE",
+    "MODES",
+    "Rate",
+    "RateTable",
+    "Transceiver",
+    "RxResult",
+    "apply_channel",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Result analysis: binning, metrics, and table rendering."""
+
+from repro.analysis.binning import log_bin_ber, aggregate_bits_per_bin
+from repro.analysis.metrics import (RateAccuracy, rate_selection_accuracy,
+                                    run_lengths)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "log_bin_ber",
+    "aggregate_bits_per_bin",
+    "RateAccuracy",
+    "rate_selection_accuracy",
+    "run_lengths",
+    "format_table",
+]

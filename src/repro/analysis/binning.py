@@ -1,0 +1,93 @@
+"""Binning utilities for the BER-estimation figures (Fig. 7, 8).
+
+The paper bins frames "in fixed-sized bins of 0.1 units in the SoftPHY
+metric (roughly logarithmically-sized bins of the estimated BER)" and
+plots mean ground-truth BER per bin; for Fig. 7(b) it aggregates all
+bits of each bin to resolve BERs far below what one frame can measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["log_bin_ber", "aggregate_bits_per_bin", "BinnedBer"]
+
+
+@dataclass(frozen=True)
+class BinnedBer:
+    """One bin of the estimated-vs-true BER comparison."""
+
+    estimate_center: float
+    mean_true: float
+    std_true: float
+    n_frames: int
+
+
+def log_bin_ber(estimates: Sequence[float], truths: Sequence[float],
+                decades_per_bin: float = 0.25,
+                min_frames: int = 3) -> List[BinnedBer]:
+    """Bin per-frame (estimate, truth) pairs by log10(estimate).
+
+    Args:
+        estimates: per-frame estimated BER.
+        truths: per-frame ground-truth BER.
+        decades_per_bin: bin width in decades of estimated BER.
+        min_frames: bins with fewer frames are dropped.
+    """
+    estimates = np.asarray(estimates, dtype=np.float64)
+    truths = np.asarray(truths, dtype=np.float64)
+    if estimates.shape != truths.shape:
+        raise ValueError("estimates and truths must align")
+    if estimates.size == 0:
+        return []
+    logs = np.log10(np.clip(estimates, 1e-15, 1.0))
+    indices = np.floor(logs / decades_per_bin).astype(int)
+    out = []
+    for idx in np.unique(indices):
+        mask = indices == idx
+        if mask.sum() < min_frames:
+            continue
+        center = 10.0 ** ((idx + 0.5) * decades_per_bin)
+        out.append(BinnedBer(
+            estimate_center=float(center),
+            mean_true=float(truths[mask].mean()),
+            std_true=float(truths[mask].std()),
+            n_frames=int(mask.sum())))
+    return out
+
+
+def aggregate_bits_per_bin(estimates: Sequence[float],
+                           error_counts: Sequence[int],
+                           bits_per_frame: int,
+                           decades_per_bin: float = 0.25
+                           ) -> List[Tuple[float, float, int]]:
+    """Fig. 7(b): pool the bits of all frames in each estimate bin.
+
+    Args:
+        estimates: per-frame estimated BER.
+        error_counts: per-frame ground-truth bit error counts.
+        bits_per_frame: frame size in bits.
+        decades_per_bin: bin width.
+
+    Returns:
+        List of ``(bin_center_estimate, aggregated_true_ber,
+        total_bits)`` tuples; bins resolve true BERs down to roughly
+        ``1 / total_bits``.
+    """
+    estimates = np.asarray(estimates, dtype=np.float64)
+    error_counts = np.asarray(error_counts, dtype=np.int64)
+    if estimates.shape != error_counts.shape:
+        raise ValueError("estimates and error counts must align")
+    logs = np.log10(np.clip(estimates, 1e-15, 1.0))
+    indices = np.floor(logs / decades_per_bin).astype(int)
+    out = []
+    for idx in np.unique(indices):
+        mask = indices == idx
+        total_bits = int(mask.sum()) * bits_per_frame
+        total_errors = int(error_counts[mask].sum())
+        center = 10.0 ** ((idx + 0.5) * decades_per_bin)
+        out.append((float(center), total_errors / total_bits, total_bits))
+    return out

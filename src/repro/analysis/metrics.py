@@ -1,0 +1,95 @@
+"""Protocol performance metrics.
+
+:func:`rate_selection_accuracy` implements the Fig. 14/18 metric: for
+every transmitted frame, compare the rate the protocol picked against
+"the highest bit rate that would have gotten the frame through at that
+time" (the omniscient choice from the trace).
+
+:func:`run_lengths` measures runs of consecutive events (Fig. 4's
+consecutive silent losses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.sim.mac import FrameLogEntry
+from repro.traces.format import LinkTrace
+
+__all__ = ["RateAccuracy", "rate_selection_accuracy", "run_lengths",
+           "ccdf"]
+
+
+@dataclass(frozen=True)
+class RateAccuracy:
+    """Fractions of frames over-, accurately-, and under-selected."""
+
+    overselect: float
+    accurate: float
+    underselect: float
+    n_frames: int
+
+    def as_dict(self) -> dict:
+        return {"overselect": self.overselect, "accurate": self.accurate,
+                "underselect": self.underselect}
+
+
+def rate_selection_accuracy(log: Sequence[FrameLogEntry],
+                            trace: LinkTrace) -> RateAccuracy:
+    """Compare each logged transmission against the omniscient rate.
+
+    Frames sent while *no* rate would have succeeded are skipped (no
+    meaningful "correct" choice exists), matching the paper's per-frame
+    comparison "against the highest bit rate that would have gotten the
+    frame through".
+    """
+    over = acc = under = 0
+    for entry in log:
+        best = trace.best_rate_at(entry.time)
+        if best is None:
+            continue
+        if entry.rate_index > best:
+            over += 1
+        elif entry.rate_index == best:
+            acc += 1
+        else:
+            under += 1
+    n = over + acc + under
+    if n == 0:
+        return RateAccuracy(0.0, 0.0, 0.0, 0)
+    return RateAccuracy(overselect=over / n, accurate=acc / n,
+                        underselect=under / n, n_frames=n)
+
+
+def run_lengths(events: Iterable[bool]) -> List[int]:
+    """Lengths of runs of consecutive True values."""
+    lengths = []
+    current = 0
+    for event in events:
+        if event:
+            current += 1
+        elif current:
+            lengths.append(current)
+            current = 0
+    if current:
+        lengths.append(current)
+    return lengths
+
+
+def ccdf(values: Sequence[float]) -> List[tuple]:
+    """Complementary CDF points ``(x, P(X >= x))`` (Fig. 4's y-axis)."""
+    values = sorted(values)
+    n = len(values)
+    if n == 0:
+        return []
+    out = []
+    seen = set()
+    for i, v in enumerate(values):
+        if v in seen:
+            continue
+        seen.add(v)
+        out.append((v, (n - i) / n))
+    return out

@@ -1,0 +1,37 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.2e}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table (used by every benchmark)."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Wireless channel models.
+
+Everything the paper obtained from real radios or its GNU Radio fading
+channel simulator is reproduced here:
+
+* :mod:`repro.channel.awgn` — additive white Gaussian noise;
+* :mod:`repro.channel.rayleigh` — Rayleigh fading via the Zheng-Xiao
+  sum-of-sinusoids (Jakes) model, the same model the paper's channel
+  simulator uses (its reference [26]);
+* :mod:`repro.channel.pathloss` — log-distance large-scale attenuation;
+* :mod:`repro.channel.mobility` — walking-speed trajectories combining
+  path loss with slow fading (the paper's "walking" traces);
+* :mod:`repro.channel.interference` — a second transmission overlaid on
+  a segment of a frame (collisions).
+
+All models operate on the OFDM-symbol abstraction of
+:mod:`repro.phy.ofdm`: a frame is ``(n_symbols, n_subcarriers)`` complex
+points; the channel applies one complex gain per OFDM symbol plus
+noise.
+"""
+
+from repro.channel.awgn import apply_channel, awgn
+from repro.channel.rayleigh import RayleighFadingProcess, coherence_time
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.channel.mobility import WalkingTrajectory
+from repro.channel.interference import overlay_interference
+
+__all__ = [
+    "apply_channel",
+    "awgn",
+    "RayleighFadingProcess",
+    "coherence_time",
+    "LogDistancePathLoss",
+    "WalkingTrajectory",
+    "overlay_interference",
+]

@@ -1,0 +1,63 @@
+"""Additive white Gaussian noise and the per-symbol channel application."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.phy.snr import db_to_linear
+
+__all__ = ["awgn", "noise_var_for_snr_db", "apply_channel"]
+
+
+def noise_var_for_snr_db(snr_db: float, signal_power: float = 1.0) -> float:
+    """Complex noise variance achieving ``snr_db`` at unit signal power."""
+    return signal_power / db_to_linear(snr_db)
+
+
+def awgn(shape, noise_var: float, rng: np.random.Generator) -> np.ndarray:
+    """Circularly-symmetric complex Gaussian noise with ``E|n|^2 = noise_var``."""
+    scale = np.sqrt(noise_var / 2.0)
+    return (rng.normal(0.0, scale, size=shape)
+            + 1j * rng.normal(0.0, scale, size=shape))
+
+
+def apply_channel(tx_symbols: np.ndarray, gains: np.ndarray,
+                  noise_var: float, rng: np.random.Generator,
+                  interference: Optional[np.ndarray] = None
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply per-symbol gains, optional interference, and AWGN.
+
+    Args:
+        tx_symbols: ``(n_symbols, n_subcarriers)`` transmitted points.
+        gains: complex channel gains — either per OFDM symbol (length
+            ``n_symbols``, frequency-flat fading, the paper's per-
+            symbol BER granularity of Eq. 4) or per (symbol,
+            subcarrier) (shape like ``tx_symbols``, frequency-selective
+            multipath from :mod:`repro.channel.multipath`).
+        noise_var: complex AWGN variance at the receiver.
+        rng: random source.
+        interference: optional array like ``tx_symbols`` added *after*
+            the channel gain (it is the interferer's received signal).
+
+    Returns:
+        ``(rx_symbols, gains)`` — the received points and the gains the
+        receiver is assumed to know (perfect CSI).
+    """
+    tx_symbols = np.asarray(tx_symbols, dtype=np.complex128)
+    gains = np.asarray(gains, dtype=np.complex128)
+    if gains.ndim == 1 and gains.size == tx_symbols.shape[0]:
+        rx = gains[:, None] * tx_symbols
+    elif gains.shape == tx_symbols.shape:
+        rx = gains * tx_symbols
+    else:
+        raise ValueError(
+            "gains must be per-symbol (1-D) or match the frame shape")
+    if interference is not None:
+        interference = np.asarray(interference, dtype=np.complex128)
+        if interference.shape != tx_symbols.shape:
+            raise ValueError("interference shape must match the frame")
+        rx = rx + interference
+    rx = rx + awgn(rx.shape, noise_var, rng)
+    return rx, gains

@@ -1,0 +1,98 @@
+"""Interference: a second transmission overlapping part of a frame.
+
+The paper's interference experiments (sections 5.3, 6.4) collide a
+sender's frame with an interferer's at varying relative powers.  When
+the interferer starts *after* the receiver has synchronised to the
+sender, the overlap corrupts a contiguous tail (or middle) segment of
+the sender's OFDM symbols — visible as an abrupt per-symbol BER jump,
+which is exactly what the SoftPHY interference detector looks for.
+
+The interferer's baseband signal is modelled as complex Gaussian at the
+chosen power: an OFDM signal with many subcarriers is statistically
+Gaussian, so this matches what the victim's demapper experiences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["overlay_interference", "interference_for_frame"]
+
+
+def interference_for_frame(n_symbols: int, n_subcarriers: int,
+                           start_symbol: int, end_symbol: int,
+                           power: float,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Build an interference array covering symbols [start, end).
+
+    Args:
+        n_symbols, n_subcarriers: frame geometry.
+        start_symbol, end_symbol: half-open interfered symbol range.
+        power: average interference power at the victim receiver,
+            relative to unit signal power (linear scale).
+        rng: random source.
+
+    Returns:
+        ``(n_symbols, n_subcarriers)`` complex array, zero outside the
+        interfered range.
+    """
+    if not 0 <= start_symbol <= end_symbol <= n_symbols:
+        raise ValueError(
+            f"bad interference range [{start_symbol}, {end_symbol}) for "
+            f"{n_symbols} symbols")
+    if power < 0:
+        raise ValueError("interference power must be non-negative")
+    out = np.zeros((n_symbols, n_subcarriers), dtype=np.complex128)
+    span = end_symbol - start_symbol
+    if span == 0 or power == 0:
+        return out
+    scale = np.sqrt(power / 2.0)
+    out[start_symbol:end_symbol] = (
+        rng.normal(0.0, scale, size=(span, n_subcarriers))
+        + 1j * rng.normal(0.0, scale, size=(span, n_subcarriers)))
+    return out
+
+
+def overlay_interference(n_symbols: int, n_subcarriers: int,
+                         relative_power_db: float,
+                         rng: np.random.Generator,
+                         overlap_fraction: float = 0.5,
+                         align: str = "tail",
+                         signal_power: float = 1.0
+                         ) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Interference covering a fraction of the frame.
+
+    Args:
+        n_symbols, n_subcarriers: frame geometry.
+        relative_power_db: interferer power relative to the sender's
+            *received* signal power (paper sweeps -15..0 dB).
+        rng: random source.
+        overlap_fraction: fraction of symbols hit (0..1].
+        align: ``"tail"`` (interferer starts mid-frame and lasts to the
+            end — sender synchronised first), ``"head"``, or
+            ``"random"`` (a random contiguous window).
+        signal_power: the victim's received signal power, used as the
+            reference for ``relative_power_db``.
+
+    Returns:
+        ``(interference, (start, end))`` — the overlay array and the
+        interfered symbol range.
+    """
+    if not 0 < overlap_fraction <= 1:
+        raise ValueError("overlap fraction must be in (0, 1]")
+    span = max(1, int(round(overlap_fraction * n_symbols)))
+    span = min(span, n_symbols)
+    if align == "tail":
+        start = n_symbols - span
+    elif align == "head":
+        start = 0
+    elif align == "random":
+        start = int(rng.integers(0, n_symbols - span + 1))
+    else:
+        raise ValueError(f"unknown alignment {align!r}")
+    power = signal_power * 10.0 ** (relative_power_db / 10.0)
+    overlay = interference_for_frame(n_symbols, n_subcarriers, start,
+                                     start + span, power, rng)
+    return overlay, (start, start + span)

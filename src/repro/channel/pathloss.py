@@ -1,0 +1,41 @@
+"""Large-scale attenuation: the log-distance path loss model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LogDistancePathLoss"]
+
+
+class LogDistancePathLoss:
+    """Log-distance path loss with configurable exponent.
+
+    ``loss_db(d) = loss_db(d0) + 10 * n * log10(d / d0)``
+
+    Args:
+        exponent: path loss exponent ``n`` (2 = free space; 3-4 indoor).
+        reference_loss_db: loss at the reference distance.
+        reference_distance: the reference distance ``d0`` in metres.
+    """
+
+    def __init__(self, exponent: float = 3.0,
+                 reference_loss_db: float = 40.0,
+                 reference_distance: float = 1.0):
+        if exponent <= 0:
+            raise ValueError("path loss exponent must be positive")
+        if reference_distance <= 0:
+            raise ValueError("reference distance must be positive")
+        self.exponent = exponent
+        self.reference_loss_db = reference_loss_db
+        self.reference_distance = reference_distance
+
+    def loss_db(self, distance: float) -> float:
+        """Path loss in dB at ``distance`` metres."""
+        d = max(float(distance), self.reference_distance * 1e-3)
+        return (self.reference_loss_db + 10.0 * self.exponent
+                * np.log10(d / self.reference_distance))
+
+    def mean_snr_db(self, tx_power_dbm: float, noise_floor_dbm: float,
+                    distance: float) -> float:
+        """Mean received SNR for a given link budget."""
+        return tx_power_dbm - self.loss_db(distance) - noise_floor_dbm

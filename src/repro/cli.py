@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``rates`` — print the rate table (Table 2) and operating modes
+  (Table 3).
+* ``trace`` — generate a fading link trace and save it as ``.npz``
+  (walking mobility or fixed mean SNR).
+* ``inspect`` — summarise a saved trace (per-rate delivery, BER).
+* ``thresholds`` — print SoftRate's optimal (alpha, beta) thresholds
+  for a frame size / recovery model / separation factor.
+* ``simulate`` — run a TCP uplink simulation over generated traces
+  with a chosen rate adaptation protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.phy.rates import MODES, RATE_TABLE
+
+__all__ = ["main"]
+
+
+def _cmd_rates(_args) -> int:
+    rows = [[r.modulation, str(r.code_rate), f"{r.mbps:g} Mbps",
+             "Yes" if r.in_prototype else "No"] for r in RATE_TABLE]
+    print(format_table(["Modulation", "Code Rate", "802.11 Rate",
+                        "Implemented"], rows))
+    print()
+    rows = [[m.name, f"{m.bandwidth_hz / 1e6:g} MHz", m.n_subcarriers,
+             f"{m.symbol_time * 1e6:g} us"] for m in MODES.values()]
+    print(format_table(["Mode", "Bandwidth", "Tones", "Symbol time"],
+                       rows))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.channel.mobility import WalkingTrajectory
+    from repro.traces.generate import generate_fading_trace
+
+    rng = np.random.default_rng(args.seed)
+    if args.walking:
+        trajectory = WalkingTrajectory(rng,
+                                       start_distance=args.distance)
+        mean_snr = trajectory.mean_snr_db
+    else:
+        mean_snr = lambda t: args.snr    # noqa: E731 - tiny closure
+    trace = generate_fading_trace(rng, duration=args.duration,
+                                  mean_snr_db=mean_snr,
+                                  doppler_hz=args.doppler)
+    trace.save(args.output)
+    print(f"wrote {args.output}: {trace.n_rates} rates x "
+          f"{trace.n_slots} slots ({trace.duration:.1f} s)")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.traces.format import LinkTrace
+
+    trace = LinkTrace.load(args.trace)
+    print(f"{args.trace}: {trace.n_slots} slots x "
+          f"{trace.slot_duration * 1e3:.1f} ms "
+          f"({trace.duration:.1f} s), detected "
+          f"{trace.detected.mean():.0%}")
+    rows = []
+    for r in range(trace.n_rates):
+        rows.append([trace.rate_names[r],
+                     f"{trace.delivered[r].mean():.0%}",
+                     f"{np.median(trace.ber_true[r]):.2e}",
+                     f"{trace.loss_prob[r].mean():.2f}"])
+    print(format_table(["rate", "delivered", "median BER",
+                        "mean loss prob"], rows))
+    return 0
+
+
+def _cmd_thresholds(args) -> int:
+    from repro.core.thresholds import (FrameLevelArq, PartialBitArq,
+                                       compute_thresholds)
+
+    rates = RATE_TABLE.prototype_subset()
+    if args.recovery == "arq":
+        recovery = FrameLevelArq(args.frame_bits)
+    else:
+        recovery = PartialBitArq(args.cost_per_error)
+    table = compute_thresholds(rates, recovery,
+                               separation=args.separation)
+    rows = [[rates[i].name, f"{table[i].alpha:.2e}",
+             f"{table[i].beta:.2e}"] for i in range(len(rates))]
+    print(format_table(["rate", "alpha (move up below)",
+                        "beta (move down above)"], rows))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.experiments.common import (omniscient_factory,
+                                          rraa_factory,
+                                          samplerate_factory,
+                                          snr_trained_factory,
+                                          softrate_factory)
+    from repro.sim.topology import run_tcp_uplink
+    from repro.traces.workloads import walking_traces
+
+    uplinks = walking_traces(args.clients, seed=args.seed)
+    downlinks = walking_traces(args.clients, seed=args.seed + 50)
+    factories = {
+        "softrate": softrate_factory,
+        "samplerate": samplerate_factory,
+        "rraa": rraa_factory,
+        "snr": snr_trained_factory(uplinks[0]),
+        "omniscient": omniscient_factory,
+    }
+    factory = factories[args.protocol]
+    result = run_tcp_uplink(uplinks, downlinks, factory,
+                            n_clients=args.clients,
+                            duration=args.duration, seed=args.seed)
+    print(f"{args.protocol}: {result.aggregate_mbps:.2f} Mbps "
+          f"aggregate over {args.duration:g} s "
+          f"({args.clients} clients)")
+    for flow, mbps in enumerate(result.per_flow_mbps):
+        print(f"  flow {flow}: {mbps:.2f} Mbps")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SoftRate (SIGCOMM 2009) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("rates", help="print the rate table")
+
+    p = sub.add_parser("trace", help="generate a fading link trace")
+    p.add_argument("output", help="output .npz path")
+    p.add_argument("--duration", type=float, default=10.0)
+    p.add_argument("--doppler", type=float, default=40.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--walking", action="store_true",
+                   help="walking-mobility SNR trajectory")
+    p.add_argument("--distance", type=float, default=5.0,
+                   help="walking start distance (m)")
+    p.add_argument("--snr", type=float, default=15.0,
+                   help="mean SNR (dB) when not walking")
+
+    p = sub.add_parser("inspect", help="summarise a saved trace")
+    p.add_argument("trace", help=".npz trace path")
+
+    p = sub.add_parser("thresholds",
+                       help="print SoftRate's optimal thresholds")
+    p.add_argument("--recovery", choices=["arq", "harq"],
+                   default="arq")
+    p.add_argument("--frame-bits", type=int, default=11232)
+    p.add_argument("--cost-per-error", type=float, default=500.0)
+    p.add_argument("--separation", type=float, default=10.0)
+
+    p = sub.add_parser("simulate", help="run a TCP uplink simulation")
+    p.add_argument("--protocol",
+                   choices=["softrate", "samplerate", "rraa", "snr",
+                            "omniscient"], default="softrate")
+    p.add_argument("--clients", type=int, default=1)
+    p.add_argument("--duration", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+_HANDLERS = {
+    "rates": _cmd_rates,
+    "trace": _cmd_trace,
+    "inspect": _cmd_inspect,
+    "thresholds": _cmd_thresholds,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an
+        # error from the user's point of view.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

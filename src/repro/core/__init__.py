@@ -1,0 +1,37 @@
+"""SoftRate's core machinery (the paper's primary contribution).
+
+* :mod:`repro.core.hints` — SoftPHY hints to per-bit error
+  probabilities and per-frame / per-symbol BER estimates (section 3.1);
+* :mod:`repro.core.interference` — abrupt-BER-jump interference
+  detection and interference-free BER excision (section 3.2);
+* :mod:`repro.core.prediction` — cross-rate BER prediction using the
+  monotonicity / order-of-magnitude-separation heuristic (section 3.3);
+* :mod:`repro.core.thresholds` — optimal per-rate BER thresholds
+  (alpha_i, beta_i) derived from the link layer's error recovery model
+  (section 3.3);
+* :mod:`repro.core.feedback` — the BER-bearing link-layer feedback
+  frame.
+"""
+
+from repro.core.hints import (error_probabilities, frame_ber_estimate,
+                              symbol_ber_profile, hints_from_llrs)
+from repro.core.interference import InterferenceDetector, InterferenceReport
+from repro.core.prediction import predict_ber
+from repro.core.thresholds import (FrameLevelArq, PartialBitArq,
+                                   RateThresholds, compute_thresholds)
+from repro.core.feedback import Feedback
+
+__all__ = [
+    "error_probabilities",
+    "frame_ber_estimate",
+    "symbol_ber_profile",
+    "hints_from_llrs",
+    "InterferenceDetector",
+    "InterferenceReport",
+    "predict_ber",
+    "FrameLevelArq",
+    "PartialBitArq",
+    "RateThresholds",
+    "compute_thresholds",
+    "Feedback",
+]

@@ -1,0 +1,77 @@
+"""The SoftRate link-layer feedback frame (paper section 3).
+
+A SoftRate receiver returns one BER measurement per received frame in a
+reserved slot at the lowest bit rate — exactly like an 802.11 ACK with
+a 32-bit BER field added.  Feedback is sent whether or not the body had
+errors, *as long as the header decoded* (the header carries its own
+CRC for this purpose).  If even the header was lost, no feedback is
+sent and the sender observes a *silent loss*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Feedback", "encode_ber", "decode_ber"]
+
+_BER_SCALE = 2 ** 32 - 1
+_LOG_FLOOR = -12.0  # quantise BER on a log scale down to 1e-12
+
+
+def encode_ber(ber: float) -> int:
+    """Quantise a BER into the 32-bit feedback field (log-scale)."""
+    if not 0.0 <= ber <= 1.0:
+        raise ValueError(f"BER {ber} outside [0, 1]")
+    if ber <= 10.0 ** _LOG_FLOOR:
+        return 0
+    fraction = (np.log10(ber) - _LOG_FLOOR) / (-_LOG_FLOOR)
+    return int(round(min(max(fraction, 0.0), 1.0) * _BER_SCALE))
+
+
+def decode_ber(field: int) -> float:
+    """Inverse of :func:`encode_ber` (exact up to quantisation)."""
+    if not 0 <= field <= _BER_SCALE:
+        raise ValueError("field outside 32 bits")
+    if field == 0:
+        return 0.0
+    return float(10.0 ** (_LOG_FLOOR + (field / _BER_SCALE) * -_LOG_FLOOR))
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """One link-layer feedback frame.
+
+    Attributes:
+        src: node sending the feedback (the data receiver).
+        dest: the data sender.
+        seq: sequence number of the data frame being reported.
+        ber: interference-free BER estimate of the data frame (already
+            excised by the interference detector).
+        frame_ok: body CRC-32 passed (this is the ACK bit).
+        interference_detected: the receiver excised a collided portion.
+        snr_db: receiver-side preamble SNR estimate, piggybacked for
+            the SNR-based comparison protocols (the paper's simulator
+            does the same, section 6.1).
+        postamble_only: the frame's preamble was lost but its postamble
+            was detected (only when postambles are enabled).
+    """
+
+    src: int
+    dest: int
+    seq: int
+    ber: float
+    frame_ok: bool
+    interference_detected: bool = False
+    snr_db: float = float("nan")
+    postamble_only: bool = False
+
+    def quantised(self) -> "Feedback":
+        """The feedback as the 32-bit wire encoding would deliver it."""
+        return Feedback(src=self.src, dest=self.dest, seq=self.seq,
+                        ber=decode_ber(encode_ber(self.ber)),
+                        frame_ok=self.frame_ok,
+                        interference_detected=self.interference_detected,
+                        snr_db=self.snr_db,
+                        postamble_only=self.postamble_only)

@@ -1,0 +1,7 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+One module per experiment; each exposes a ``run_*`` function returning
+plain data structures that the corresponding benchmark prints and
+sanity-checks.  The module mapping is recorded in DESIGN.md's
+experiment index and EXPERIMENTS.md's results log.
+"""

@@ -1,0 +1,130 @@
+"""Shared experiment configuration.
+
+Protocol factories with the environment-calibrated parameters used
+throughout section-6 reproductions.  The one deliberate calibration:
+SoftRate's cross-rate BER separation factor.  The paper measures a
+~10x separation between adjacent rates on its USRP testbed (Fig. 5,
+observation 2: "at least a factor of 10") and uses 10; our simulated
+channel has steeper waterfalls (less hardware noise), with a measured
+separation of ~3 decades per step, so the trace-driven experiments use
+``CALIBRATED_SEPARATION = 1000``.  The ablation bench
+``test_ablation_softrate.py`` quantifies the sensitivity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.thresholds import FrameLevelArq, compute_thresholds
+from repro.phy.rates import RATE_TABLE, RateTable
+from repro.rateadapt import (OmniscientAdapter, Rraa, SampleRate,
+                             SnrBasedAdapter, SoftRate,
+                             theoretical_snr_thresholds,
+                             train_snr_thresholds)
+from repro.sim.topology import run_tcp_uplink
+from repro.traces.format import LinkTrace
+
+__all__ = ["CALIBRATED_SEPARATION", "PAYLOAD_BITS", "softrate_factory",
+           "omniscient_factory", "samplerate_factory", "rraa_factory",
+           "snr_trained_factory", "charm_factory", "snr_untrained_factory",
+           "standard_algorithms", "averaged_tcp_throughput"]
+
+#: Cross-rate BER separation of the simulated channel (decades^1000);
+#: see module docstring.
+CALIBRATED_SEPARATION = 1000.0
+
+#: 1400-byte TCP segments (paper section 6.1).
+PAYLOAD_BITS = 11200
+
+_RATES = RATE_TABLE.prototype_subset()
+
+
+def _softrate_thresholds(rates: RateTable):
+    return compute_thresholds(rates, FrameLevelArq(PAYLOAD_BITS + 32),
+                              separation=CALIBRATED_SEPARATION)
+
+
+def softrate_factory(rates: RateTable, trace=None) -> SoftRate:
+    """SoftRate with thresholds calibrated for the simulated channel."""
+    return SoftRate(rates, thresholds=_softrate_thresholds(rates))
+
+
+def omniscient_factory(rates: RateTable, trace: LinkTrace
+                       ) -> OmniscientAdapter:
+    return OmniscientAdapter(rates, trace)
+
+
+def samplerate_factory(rates: RateTable, trace=None) -> SampleRate:
+    return SampleRate(rates)
+
+
+def rraa_factory(rates: RateTable, trace=None) -> Rraa:
+    return Rraa(rates)
+
+
+def snr_trained_factory(training_trace: LinkTrace
+                        ) -> Callable[..., SnrBasedAdapter]:
+    """Factory closure over thresholds trained on ``training_trace``."""
+    thresholds = train_snr_thresholds(training_trace)
+
+    def build(rates: RateTable, trace=None) -> SnrBasedAdapter:
+        return SnrBasedAdapter(rates, thresholds)
+
+    return build
+
+
+def charm_factory(training_trace: LinkTrace, averaging: float = 0.1
+                  ) -> Callable[..., SnrBasedAdapter]:
+    """CHARM-like averaged-SNR variant (trained thresholds + EWMA)."""
+    thresholds = train_snr_thresholds(training_trace)
+
+    def build(rates: RateTable, trace=None) -> SnrBasedAdapter:
+        return SnrBasedAdapter(rates, thresholds, averaging=averaging)
+
+    return build
+
+
+def snr_untrained_factory(rates_for_thresholds: Optional[RateTable] = None
+                          ) -> Callable[..., SnrBasedAdapter]:
+    """SNR protocol with theoretical (AWGN) thresholds — untrained."""
+    table = rates_for_thresholds if rates_for_thresholds is not None \
+        else _RATES
+    thresholds = theoretical_snr_thresholds(table, PAYLOAD_BITS)
+
+    def build(rates: RateTable, trace=None) -> SnrBasedAdapter:
+        return SnrBasedAdapter(rates, thresholds)
+
+    return build
+
+
+def standard_algorithms(training_trace: LinkTrace) -> List[tuple]:
+    """The six algorithms of Fig. 13, as (name, factory) pairs."""
+    return [
+        ("Omniscient", omniscient_factory),
+        ("SoftRate", softrate_factory),
+        ("SNR (trained)", snr_trained_factory(training_trace)),
+        ("CHARM", charm_factory(training_trace)),
+        ("RRAA", rraa_factory),
+        ("SampleRate", samplerate_factory),
+    ]
+
+
+def averaged_tcp_throughput(uplink_traces, downlink_traces, factory,
+                            n_clients: int, duration: float,
+                            seeds=(1, 2), **kwargs) -> dict:
+    """Run the Fig. 12 topology over several seeds; average throughput.
+
+    Returns a dict with ``mbps`` (mean aggregate), ``per_seed`` and the
+    last run's result object (for log inspection).
+    """
+    results = []
+    last = None
+    for seed in seeds:
+        last = run_tcp_uplink(uplink_traces, downlink_traces, factory,
+                              n_clients=n_clients, duration=duration,
+                              seed=seed, **kwargs)
+        results.append(last.aggregate_mbps)
+    return {"mbps": float(np.mean(results)), "per_seed": results,
+            "last_result": last}

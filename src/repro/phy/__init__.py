@@ -1,0 +1,25 @@
+"""Physical layer: coding, modulation, framing, and the OFDM pipeline.
+
+This package implements an 802.11a/g-like baseband PHY, mirroring the
+GNU Radio prototype of the SoftRate paper (SIGCOMM 2009, section 4):
+
+* rate-1/2 constraint-length-7 convolutional coding with puncturing,
+* Gray-mapped BPSK/QPSK/16-QAM/64-QAM over OFDM symbols,
+* per-symbol frequency interleaving,
+* a hard-output Viterbi decoder and a soft-output log-MAP (BCJR)
+  decoder whose per-bit log-likelihood ratios are the source of the
+  SoftPHY hints used by :mod:`repro.core`.
+"""
+
+from repro.phy.rates import RateTable, Rate, RATE_TABLE, OperatingMode, MODES
+from repro.phy.transceiver import Transceiver, RxResult
+
+__all__ = [
+    "RateTable",
+    "Rate",
+    "RATE_TABLE",
+    "OperatingMode",
+    "MODES",
+    "Transceiver",
+    "RxResult",
+]

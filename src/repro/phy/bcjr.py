@@ -1,0 +1,134 @@
+"""Soft-output log-MAP (BCJR) decoder — the source of SoftPHY hints.
+
+The BCJR algorithm [Bahl et al. 1974] computes, for every information
+bit, the exact a-posteriori log-likelihood ratio
+
+    LLR(k) = log P(x_k = 1 | r) - log P(x_k = 0 | r)
+
+given the received channel observations ``r`` and the code constraints.
+The SoftRate paper (section 3.1) defines the SoftPHY hint of bit ``k``
+as ``|LLR(k)|`` and derives the per-bit error probability
+``p_k = 1 / (1 + exp(|LLR(k)|))`` from it.
+
+Two recursion flavours are provided:
+
+* ``"log-map"`` — exact, using ``logaddexp`` (Jacobian logarithm);
+* ``"max-log-map"`` — approximate, replacing log-sum-exp by max;
+  faster, with slightly optimistic hint magnitudes (ablated in
+  ``benchmarks/test_ablation_decoder.py``).
+
+The recursions exploit the 2-regular trellis of a rate-1/2 code: every
+state has exactly two predecessors and two successors, so each step is
+a single vectorised binary combine over the state vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.convcode import ConvolutionalCode
+
+__all__ = ["bcjr_decode", "BcjrResult"]
+
+_NEG_INF = -1e30
+
+
+class BcjrResult:
+    """Output of the BCJR decoder.
+
+    Attributes:
+        llrs: a-posteriori LLR per information bit (tail stripped).
+        bits: hard decisions, ``llrs >= 0`` (Eq. 2 of the paper).
+    """
+
+    __slots__ = ("llrs", "bits")
+
+    def __init__(self, llrs: np.ndarray):
+        self.llrs = llrs
+        self.bits = (llrs >= 0).astype(np.uint8)
+
+
+def bcjr_decode(code: ConvolutionalCode, channel_llrs: np.ndarray,
+                variant: str = "log-map") -> BcjrResult:
+    """Decode a terminated rate-1/2 coded stream with soft outputs.
+
+    Args:
+        code: the convolutional code.
+        channel_llrs: depunctured channel LLRs, one per mother-code bit
+            (``log P(r|c=1) - log P(r|c=0)``); punctured positions are 0.
+        variant: ``"log-map"`` (exact) or ``"max-log-map"``.
+
+    Returns:
+        A :class:`BcjrResult` with per-information-bit posterior LLRs.
+    """
+    llrs = np.asarray(channel_llrs, dtype=np.float64)
+    if llrs.size % 2 != 0:
+        raise ValueError("channel LLR stream must have even length")
+    n_steps = llrs.size // 2
+    if n_steps <= code.n_tail_bits:
+        raise ValueError("input shorter than the code's tail")
+    if variant == "log-map":
+        combine = np.logaddexp
+    elif variant == "max-log-map":
+        combine = np.maximum
+    else:
+        raise ValueError(f"unknown BCJR variant: {variant!r}")
+
+    trellis = code.trellis
+    n_states = trellis.n_states
+    next_state = trellis.next_state            # (S, 2)
+    prev_state = trellis.prev_state            # (S, 2)
+    prev_input = trellis.prev_input            # (S, 2)
+
+    # gamma[t, s, b] = c0 * L0[t] + c1 * L1[t] for that transition's
+    # coded bits (terms independent of the transition cancel in LLRs).
+    out = trellis.outputs.astype(np.float64)   # (S, 2, 2)
+    pairs = llrs.reshape(n_steps, 2)
+    gamma = (out[None, :, :, 0] * pairs[:, None, None, 0]
+             + out[None, :, :, 1] * pairs[:, None, None, 1])  # (T, S, 2)
+    gamma_flat = gamma.reshape(n_steps, 2 * n_states)
+
+    # Column index into gamma_flat for the transition that enters state
+    # s via its i-th predecessor (i = 0, 1).
+    enter_col = prev_state * 2 + prev_input    # (S, 2)
+    enter0, enter1 = enter_col[:, 0], enter_col[:, 1]
+    pred0, pred1 = prev_state[:, 0], prev_state[:, 1]
+    succ0, succ1 = next_state[:, 0], next_state[:, 1]
+    leave0 = 2 * np.arange(n_states)           # transition (s, 0)
+    leave1 = leave0 + 1                        # transition (s, 1)
+
+    # Forward recursion.
+    alpha = np.empty((n_steps + 1, n_states))
+    alpha[0] = _NEG_INF
+    alpha[0, 0] = 0.0
+    for t in range(n_steps):
+        row = alpha[t]
+        gf = gamma_flat[t]
+        nxt = combine(row[pred0] + gf[enter0], row[pred1] + gf[enter1])
+        # Normalise to avoid drift; offsets cancel in the final LLR.
+        alpha[t + 1] = nxt - nxt.max()
+
+    # Backward recursion (terminated trellis: end in state 0).
+    beta = np.empty((n_steps + 1, n_states))
+    beta[n_steps] = _NEG_INF
+    beta[n_steps, 0] = 0.0
+    for t in range(n_steps - 1, -1, -1):
+        row = beta[t + 1]
+        gf = gamma_flat[t]
+        prev = combine(row[succ0] + gf[leave0], row[succ1] + gf[leave1])
+        beta[t] = prev - prev.max()
+
+    # Posterior LLR per trellis step: combine over transitions with
+    # input bit 1 minus transitions with input bit 0.  Transition
+    # (s, b) runs from alpha[t, s] to beta[t + 1, next_state[s, b]].
+    score0 = alpha[:-1] + gamma[:, :, 0] + beta[1:, succ0]   # (T, S)
+    score1 = alpha[:-1] + gamma[:, :, 1] + beta[1:, succ1]
+    if variant == "log-map":
+        from scipy.special import logsumexp
+        num = logsumexp(score1, axis=1)
+        den = logsumexp(score0, axis=1)
+    else:
+        num = score1.max(axis=1)
+        den = score0.max(axis=1)
+    posterior = num - den
+    return BcjrResult(posterior[: n_steps - code.n_tail_bits])

@@ -1,0 +1,148 @@
+"""Bit-level utilities: packing, CRCs, and the 802.11 scrambler.
+
+All PHY modules represent bit streams as one-dimensional ``numpy``
+arrays of ``uint8`` holding values 0 and 1.  The helpers here convert
+between bytes and bits, compute the two checksums used by the SoftRate
+frame format (CRC-32 over the frame body, CRC-16 over the link-layer
+header, see paper section 3), and implement the self-synchronising
+scrambler from 802.11 (polynomial :math:`x^7 + x^4 + 1`).
+"""
+
+from __future__ import annotations
+
+import binascii
+
+import numpy as np
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "int_to_bits",
+    "bits_to_int",
+    "crc32",
+    "crc16",
+    "append_crc32",
+    "check_crc32",
+    "scramble",
+    "descramble",
+    "hamming_distance",
+    "random_bits",
+]
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand ``data`` into a bit array, most significant bit first."""
+    if len(data) == 0:
+        return np.zeros(0, dtype=np.uint8)
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a bit array (MSB first) back into bytes.
+
+    The bit count must be a multiple of 8.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    return np.packbits(bits).tobytes()
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Encode ``value`` as ``width`` bits, most significant bit first."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)],
+                    dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Decode a most-significant-bit-first bit array into an integer."""
+    value = 0
+    for bit in np.asarray(bits, dtype=np.uint8):
+        value = (value << 1) | int(bit)
+    return value
+
+
+def crc32(bits: np.ndarray) -> int:
+    """CRC-32 (IEEE) of a byte-aligned bit array."""
+    return binascii.crc32(bits_to_bytes(bits)) & 0xFFFFFFFF
+
+
+_CRC16_POLY = 0x1021  # CRC-16-CCITT
+
+
+def crc16(bits: np.ndarray) -> int:
+    """CRC-16-CCITT of a bit array (bit-serial; input need not be
+    byte-aligned, which lets the link header stay compact)."""
+    reg = 0xFFFF
+    for bit in np.asarray(bits, dtype=np.uint8):
+        msb = (reg >> 15) & 1
+        reg = ((reg << 1) & 0xFFFF) | int(bit)
+        if msb:
+            reg ^= _CRC16_POLY
+    return reg
+
+
+def append_crc32(bits: np.ndarray) -> np.ndarray:
+    """Return ``bits`` with its 32-bit CRC appended."""
+    checksum = int_to_bits(crc32(bits), 32)
+    return np.concatenate([np.asarray(bits, dtype=np.uint8), checksum])
+
+
+def check_crc32(bits: np.ndarray) -> bool:
+    """Verify a bit array produced by :func:`append_crc32`."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size < 32 or (bits.size - 32) % 8 != 0:
+        return False
+    body, checksum = bits[:-32], bits[-32:]
+    return crc32(body) == bits_to_int(checksum)
+
+
+_SCRAMBLER_LEN = 127
+
+
+def _scrambler_sequence(seed: int) -> np.ndarray:
+    """One period of the 802.11 length-127 scrambler output."""
+    if not 1 <= seed <= 127:
+        raise ValueError("scrambler seed must be in [1, 127]")
+    state = seed
+    out = np.empty(_SCRAMBLER_LEN, dtype=np.uint8)
+    for i in range(_SCRAMBLER_LEN):
+        feedback = ((state >> 6) ^ (state >> 3)) & 1
+        out[i] = feedback
+        state = ((state << 1) | feedback) & 0x7F
+    return out
+
+
+def scramble(bits: np.ndarray, seed: int = 0x5D) -> np.ndarray:
+    """XOR ``bits`` with the 802.11 scrambler sequence.
+
+    Scrambling whitens long runs of identical bits so that the channel
+    and synchronisation behave independently of payload content.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    sequence = _scrambler_sequence(seed)
+    reps = -(-bits.size // _SCRAMBLER_LEN)
+    return bits ^ np.tile(sequence, reps)[: bits.size]
+
+
+def descramble(bits: np.ndarray, seed: int = 0x5D) -> np.ndarray:
+    """Inverse of :func:`scramble` (XOR is an involution)."""
+    return scramble(bits, seed)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where the two bit arrays differ."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def random_bits(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Generate ``n`` uniformly random bits."""
+    return rng.integers(0, 2, size=n, dtype=np.uint8)

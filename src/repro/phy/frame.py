@@ -1,0 +1,127 @@
+"""Link-layer frame format.
+
+SoftRate's protocol (paper section 3) requires the receiver to identify
+the sender and the transmit rate of a frame *even when the body has bit
+errors*, so that BER feedback can be returned for erroneous frames.
+The frame format therefore protects the link-layer header with its own
+CRC-16, separate from the CRC-32 over the body:
+
+    | dest (8) | src (8) | seq (12) | rate (4) | length (12) |
+    | flags (4) | crc16 (16) |                       = 64 bits
+
+The body is the scrambled payload followed by a CRC-32.  The header is
+always transmitted at the lowest (most robust) bit rate; the body at
+the rate named in the header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.phy import bits as bitutil
+
+__all__ = ["LinkHeader", "HEADER_BITS", "FLAG_HAS_POSTAMBLE", "FLAG_FEEDBACK"]
+
+HEADER_BITS = 64
+
+#: Header flag: the frame carries a postamble training symbol.
+FLAG_HAS_POSTAMBLE = 0b0001
+#: Header flag: the frame is a link-layer feedback (ACK) frame.
+FLAG_FEEDBACK = 0b0010
+
+_DEST_BITS = 8
+_SRC_BITS = 8
+_SEQ_BITS = 12
+_RATE_BITS = 4
+_LEN_BITS = 12
+_FLAG_BITS = 4
+
+
+@dataclass(frozen=True)
+class LinkHeader:
+    """The link-layer frame header.
+
+    Attributes:
+        dest: destination node id (0-255).
+        src: source node id (0-255).
+        seq: sequence number modulo 4096.
+        rate_index: index into the rate table used for the frame body.
+        length_bytes: payload length in bytes (without the body CRC).
+        flags: bitwise OR of the ``FLAG_*`` constants.
+    """
+
+    dest: int
+    src: int
+    seq: int
+    rate_index: int
+    length_bytes: int
+    flags: int = 0
+
+    def __post_init__(self):
+        for value, width, name in [
+            (self.dest, _DEST_BITS, "dest"),
+            (self.src, _SRC_BITS, "src"),
+            (self.seq, _SEQ_BITS, "seq"),
+            (self.rate_index, _RATE_BITS, "rate_index"),
+            (self.length_bytes, _LEN_BITS, "length_bytes"),
+            (self.flags, _FLAG_BITS, "flags"),
+        ]:
+            if not 0 <= value < (1 << width):
+                raise ValueError(f"{name}={value} does not fit in "
+                                 f"{width} bits")
+
+    def to_bits(self) -> np.ndarray:
+        """Serialise to ``HEADER_BITS`` bits including the CRC-16."""
+        fields = np.concatenate([
+            bitutil.int_to_bits(self.dest, _DEST_BITS),
+            bitutil.int_to_bits(self.src, _SRC_BITS),
+            bitutil.int_to_bits(self.seq, _SEQ_BITS),
+            bitutil.int_to_bits(self.rate_index, _RATE_BITS),
+            bitutil.int_to_bits(self.length_bytes, _LEN_BITS),
+            bitutil.int_to_bits(self.flags, _FLAG_BITS),
+        ])
+        crc = bitutil.int_to_bits(bitutil.crc16(fields), 16)
+        return np.concatenate([fields, crc])
+
+    @classmethod
+    def from_bits(cls, header_bits: np.ndarray
+                  ) -> Tuple[Optional["LinkHeader"], bool]:
+        """Parse header bits; returns ``(header, crc_ok)``.
+
+        On CRC failure the header is still parsed (fields may be
+        garbage) so callers can log it, but ``crc_ok`` is False and the
+        header must not be trusted.
+        """
+        header_bits = np.asarray(header_bits, dtype=np.uint8)
+        if header_bits.size != HEADER_BITS:
+            raise ValueError(f"expected {HEADER_BITS} header bits, "
+                             f"got {header_bits.size}")
+        fields = header_bits[:-16]
+        crc_ok = (bitutil.crc16(fields)
+                  == bitutil.bits_to_int(header_bits[-16:]))
+        cursor = 0
+
+        def take(width: int) -> int:
+            nonlocal cursor
+            value = bitutil.bits_to_int(fields[cursor:cursor + width])
+            cursor += width
+            return value
+
+        try:
+            header = cls(dest=take(_DEST_BITS), src=take(_SRC_BITS),
+                         seq=take(_SEQ_BITS), rate_index=take(_RATE_BITS),
+                         length_bytes=take(_LEN_BITS), flags=take(_FLAG_BITS))
+        except ValueError:
+            return None, False
+        return header, crc_ok
+
+    @property
+    def has_postamble(self) -> bool:
+        return bool(self.flags & FLAG_HAS_POSTAMBLE)
+
+    @property
+    def is_feedback(self) -> bool:
+        return bool(self.flags & FLAG_FEEDBACK)

@@ -1,0 +1,171 @@
+"""The 802.11a/g bit rate table and OFDM operating modes.
+
+Reproduces Table 2 (modulation / code rate combinations and their raw
+throughput over a 20 MHz channel) and Table 3 (the long range, short
+range, and simulation modes of the paper's OFDM prototype).
+
+The paper's prototype implements the six rates from BPSK 1/2 (6 Mbps)
+through QAM16 3/4 (36 Mbps); QAM64 rates are listed but unimplemented.
+We implement all eight and expose the paper's six-rate subset as the
+default adaptation set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Sequence, Tuple
+
+__all__ = ["Rate", "RateTable", "RATE_TABLE", "OperatingMode", "MODES"]
+
+
+@dataclass(frozen=True)
+class Rate:
+    """One modulation / code-rate combination (one row of Table 2).
+
+    Attributes:
+        index: position in the rate table, 0 = most robust.
+        modulation: constellation name, e.g. ``"QPSK"``.
+        bits_per_symbol: coded bits carried per subcarrier use.
+        code_rate: convolutional code rate after puncturing.
+        mbps: raw 802.11 throughput over a 20 MHz channel.
+        in_prototype: whether the paper's prototype implements it.
+    """
+
+    index: int
+    modulation: str
+    bits_per_symbol: int
+    code_rate: Fraction
+    mbps: float
+    in_prototype: bool = True
+
+    @property
+    def name(self) -> str:
+        """Human-readable label, e.g. ``"QPSK 3/4"``."""
+        return f"{self.modulation} {self.code_rate}"
+
+    @property
+    def info_bits_per_subcarrier(self) -> float:
+        """Information bits carried per subcarrier use."""
+        return float(self.bits_per_symbol * self.code_rate)
+
+    def coded_bits_per_ofdm_symbol(self, n_subcarriers: int) -> int:
+        """Coded bits per OFDM symbol for a given subcarrier count."""
+        return self.bits_per_symbol * n_subcarriers
+
+    def airtime(self, n_info_bits: int, symbol_time: float,
+                n_subcarriers: int) -> float:
+        """Transmission time in seconds for ``n_info_bits`` payload bits."""
+        info_per_symbol = self.info_bits_per_subcarrier * n_subcarriers
+        n_symbols = -(-n_info_bits // info_per_symbol)
+        return float(n_symbols) * symbol_time
+
+
+def _build_rates() -> Tuple[Rate, ...]:
+    rows = [
+        ("BPSK", 1, Fraction(1, 2), 6.0, True),
+        ("BPSK", 1, Fraction(3, 4), 9.0, True),
+        ("QPSK", 2, Fraction(1, 2), 12.0, True),
+        ("QPSK", 2, Fraction(3, 4), 18.0, True),
+        ("QAM16", 4, Fraction(1, 2), 24.0, True),
+        ("QAM16", 4, Fraction(3, 4), 36.0, True),
+        ("QAM64", 6, Fraction(1, 2), 48.0, False),
+        ("QAM64", 6, Fraction(2, 3), 54.0, False),
+    ]
+    return tuple(
+        Rate(index=i, modulation=mod, bits_per_symbol=bps, code_rate=cr,
+             mbps=mbps, in_prototype=impl)
+        for i, (mod, bps, cr, mbps, impl) in enumerate(rows)
+    )
+
+
+class RateTable:
+    """An ordered set of available bit rates.
+
+    Rate adaptation protocols index rates by position in this table;
+    index 0 is the most robust (lowest) rate.  ``RATE_TABLE`` is the
+    full 802.11a/g table; :meth:`prototype_subset` returns the paper's
+    six implemented rates.
+    """
+
+    def __init__(self, rates: Sequence[Rate]):
+        if not rates:
+            raise ValueError("rate table cannot be empty")
+        mbps = [r.mbps for r in rates]
+        if sorted(mbps) != mbps:
+            raise ValueError("rates must be ordered by increasing throughput")
+        self._rates = tuple(
+            Rate(index=i, modulation=r.modulation,
+                 bits_per_symbol=r.bits_per_symbol, code_rate=r.code_rate,
+                 mbps=r.mbps, in_prototype=r.in_prototype)
+            for i, r in enumerate(rates)
+        )
+
+    def __len__(self) -> int:
+        return len(self._rates)
+
+    def __iter__(self) -> Iterator[Rate]:
+        return iter(self._rates)
+
+    def __getitem__(self, index: int) -> Rate:
+        return self._rates[index]
+
+    @property
+    def lowest(self) -> Rate:
+        """The most robust rate (used for feedback frames)."""
+        return self._rates[0]
+
+    @property
+    def highest(self) -> Rate:
+        return self._rates[-1]
+
+    def by_name(self, name: str) -> Rate:
+        """Look up a rate by its ``"QPSK 3/4"``-style label."""
+        for rate in self._rates:
+            if rate.name == name:
+                return rate
+        raise KeyError(name)
+
+    def prototype_subset(self) -> "RateTable":
+        """The six rates implemented by the paper's prototype."""
+        return RateTable([r for r in self._rates if r.in_prototype])
+
+    def clamp(self, index: int) -> int:
+        """Clamp an index into the valid range of this table."""
+        return max(0, min(index, len(self._rates) - 1))
+
+    def names(self) -> List[str]:
+        return [r.name for r in self._rates]
+
+
+RATE_TABLE = RateTable(_build_rates())
+
+
+@dataclass(frozen=True)
+class OperatingMode:
+    """One OFDM operating mode (one row of Table 3).
+
+    Attributes:
+        name: mode label.
+        bandwidth_hz: RF bandwidth sampled.
+        n_subcarriers: OFDM subcarriers ("tones").
+        symbol_time: OFDM symbol duration in seconds, including the
+            cyclic prefix (one-fourth of the subcarrier length).
+    """
+
+    name: str
+    bandwidth_hz: float
+    n_subcarriers: int
+    symbol_time: float
+
+    def frame_airtime(self, rate: Rate, n_info_bits: int) -> float:
+        """Airtime of a frame at ``rate`` carrying ``n_info_bits``."""
+        return rate.airtime(n_info_bits, self.symbol_time,
+                            self.n_subcarriers)
+
+
+MODES = {
+    "long_range": OperatingMode("long_range", 500e3, 1024, 2.6e-3),
+    "short_range": OperatingMode("short_range", 4e6, 512, 160e-6),
+    "simulation": OperatingMode("simulation", 20e6, 128, 8e-6),
+}

@@ -1,0 +1,73 @@
+"""Preamble-based SNR estimation (Schmidl-Cox-style).
+
+The paper's prototype estimates SNR once per frame from the preamble
+(section 4).  This is the crucial weakness of SNR as a rate adaptation
+signal: in a fading channel, the SNR measured over the first symbols
+does not capture the fades that occur later in the frame, which is why
+the SNR-BER relationship shifts with channel coherence time (Fig. 9)
+and SNR-based protocols need in-situ retraining.
+
+We model the estimator at the symbol level: the receiver correlates
+the received preamble with the known training symbols to estimate the
+channel gain and the residual noise power.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["estimate_preamble_snr", "true_average_snr_db", "snr_to_db",
+           "db_to_linear"]
+
+
+def snr_to_db(snr_linear: float) -> float:
+    """Linear SNR to decibels (floored to avoid log of zero)."""
+    return 10.0 * np.log10(max(snr_linear, 1e-12))
+
+
+def db_to_linear(snr_db: float) -> float:
+    """Decibel SNR to linear scale."""
+    return float(10.0 ** (snr_db / 10.0))
+
+
+def estimate_preamble_snr(rx_preamble: np.ndarray,
+                          training: np.ndarray) -> Tuple[float, complex]:
+    """Estimate SNR and channel gain from the received preamble.
+
+    Args:
+        rx_preamble: received preamble samples, shape
+            ``(n_preamble_symbols, n_subcarriers)``.
+        training: the known transmitted training symbols, same shape,
+            unit average energy.
+
+    Returns:
+        ``(snr_db, gain_estimate)``: the estimated SNR in dB and the
+        complex channel gain estimate (used by the receiver to set the
+        demapper's noise variance).
+    """
+    rx = np.asarray(rx_preamble, dtype=np.complex128).ravel()
+    ref = np.asarray(training, dtype=np.complex128).ravel()
+    if rx.shape != ref.shape:
+        raise ValueError("preamble shape mismatch")
+    ref_energy = np.mean(np.abs(ref) ** 2)
+    gain = np.vdot(ref, rx) / (ref.size * ref_energy)
+    residual = rx - gain * ref
+    noise_power = np.mean(np.abs(residual) ** 2)
+    signal_power = np.abs(gain) ** 2 * ref_energy
+    if noise_power <= 0:
+        noise_power = 1e-12
+    return snr_to_db(signal_power / noise_power), complex(gain)
+
+
+def true_average_snr_db(gains: np.ndarray, noise_var: float) -> float:
+    """Ground-truth SNR averaged over all symbols of a frame.
+
+    Unlike :func:`estimate_preamble_snr` this sees mid-frame fades; it
+    is available only to the simulator (an omniscient quantity), not to
+    protocols.
+    """
+    gains = np.asarray(gains)
+    power = np.mean(np.abs(gains) ** 2)
+    return snr_to_db(power / noise_var)

@@ -1,0 +1,41 @@
+"""Bit rate adaptation protocols.
+
+:class:`~repro.rateadapt.softrate.SoftRate` is the paper's protocol;
+the rest are the baselines of its evaluation (section 6.1):
+
+* :class:`~repro.rateadapt.samplerate.SampleRate` — Bicket's
+  transmission-time minimiser (the MadWifi/Atheros default);
+* :class:`~repro.rateadapt.rraa.Rraa` — Robust Rate Adaptation
+  Algorithm with short-window loss ratios and adaptive RTS;
+* :class:`~repro.rateadapt.snr_based.SnrBasedAdapter` — RBAR-style
+  instantaneous-SNR thresholds (trained or untrained) and the
+  CHARM-style averaged-SNR variant;
+* :class:`~repro.rateadapt.omniscient.OmniscientAdapter` — the oracle
+  that reads the trace;
+* :class:`~repro.rateadapt.fixed.FixedRate` — a constant rate.
+
+All protocols implement the :class:`~repro.rateadapt.base.RateAdapter`
+interface consumed by the MAC simulator.
+"""
+
+from repro.rateadapt.base import RateAdapter
+from repro.rateadapt.fixed import FixedRate
+from repro.rateadapt.omniscient import OmniscientAdapter
+from repro.rateadapt.rraa import Rraa
+from repro.rateadapt.samplerate import SampleRate
+from repro.rateadapt.snr_based import (SnrBasedAdapter,
+                                       theoretical_snr_thresholds,
+                                       train_snr_thresholds)
+from repro.rateadapt.softrate import SoftRate
+
+__all__ = [
+    "RateAdapter",
+    "FixedRate",
+    "OmniscientAdapter",
+    "Rraa",
+    "SampleRate",
+    "SnrBasedAdapter",
+    "theoretical_snr_thresholds",
+    "train_snr_thresholds",
+    "SoftRate",
+]

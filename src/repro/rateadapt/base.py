@@ -1,0 +1,74 @@
+"""The rate adapter interface.
+
+A rate adapter lives at a sender's link layer.  Before each frame the
+MAC asks :meth:`RateAdapter.choose_rate`; after each transmission it
+reports the outcome through exactly one of:
+
+* :meth:`on_feedback` — a link-layer feedback frame (ACK) arrived.
+  For SoftRate it carries the interference-free BER; the simulator
+  piggybacks an SNR estimate for the SNR-based protocols, as the
+  paper's modified ns-3 does (section 6.1).
+* :meth:`on_silent_loss` — no feedback of any kind (the receiver never
+  detected the frame, or the feedback was lost).
+
+Adapters are passive: they never schedule events themselves, which
+keeps them trivially portable between the trace-driven simulator and
+unit tests.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.feedback import Feedback
+from repro.phy.rates import RateTable
+
+__all__ = ["RateAdapter"]
+
+
+class RateAdapter(abc.ABC):
+    """Base class for all rate adaptation protocols.
+
+    Args:
+        rates: the available bit rates.
+        initial_rate: starting rate index (defaults to the middle of
+            the table, like common driver implementations).
+    """
+
+    #: Human-readable protocol name (overridden by subclasses).
+    name = "base"
+
+    def __init__(self, rates: RateTable, initial_rate: int = None):
+        self.rates = rates
+        if initial_rate is None:
+            initial_rate = len(rates) // 2
+        self.current_rate = rates.clamp(initial_rate)
+
+    @abc.abstractmethod
+    def choose_rate(self, now: float) -> int:
+        """The rate index to use for the next frame sent at ``now``."""
+
+    def on_feedback(self, now: float, rate_index: int,
+                    feedback: Feedback, airtime: float) -> None:
+        """Link-layer feedback for a frame sent at ``rate_index``.
+
+        Args:
+            now: current simulation time.
+            rate_index: the rate the reported frame was sent at.
+            feedback: the receiver's feedback (BER, ACK bit, SNR).
+            airtime: how long the frame transmission took.
+        """
+
+    def on_silent_loss(self, now: float, rate_index: int,
+                       airtime: float) -> None:
+        """The frame drew no feedback at all (silent loss)."""
+
+    def wants_rts(self, now: float) -> bool:
+        """Whether the next frame should be protected by RTS/CTS.
+
+        Only RRAA's adaptive-RTS machinery ever returns True.
+        """
+        return False
+
+    def _clamped(self, rate_index: int) -> int:
+        return self.rates.clamp(rate_index)

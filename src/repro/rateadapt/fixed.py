@@ -1,0 +1,23 @@
+"""A fixed-rate "adapter" — the null baseline and a testing aid."""
+
+from __future__ import annotations
+
+from repro.phy.rates import RateTable
+from repro.rateadapt.base import RateAdapter
+
+__all__ = ["FixedRate"]
+
+
+class FixedRate(RateAdapter):
+    """Always transmits at one configured rate."""
+
+    name = "Fixed"
+
+    def __init__(self, rates: RateTable, rate_index: int):
+        super().__init__(rates, initial_rate=rate_index)
+        if not 0 <= rate_index < len(rates):
+            raise ValueError(f"rate index {rate_index} outside the table")
+        self.name = f"Fixed({rates[rate_index].name})"
+
+    def choose_rate(self, now: float) -> int:
+        return self.current_rate

@@ -1,0 +1,40 @@
+"""The omniscient oracle (paper section 6.1, algorithm 3).
+
+"An 'omniscient' algorithm that always picks the highest rate
+guaranteed to succeed, which a simulator with a priori knowledge of
+channel characteristics computes from the traces."  It upper-bounds
+every realisable protocol and normalises the fast-fading results
+(Fig. 16).
+"""
+
+from __future__ import annotations
+
+from repro.phy.rates import RateTable
+from repro.rateadapt.base import RateAdapter
+from repro.traces.format import LinkTrace
+
+__all__ = ["OmniscientAdapter"]
+
+
+class OmniscientAdapter(RateAdapter):
+    """Reads the trace to pick the best rate that will succeed."""
+
+    name = "Omniscient"
+
+    def __init__(self, rates: RateTable, trace: LinkTrace,
+                 initial_rate: int = None):
+        super().__init__(rates, initial_rate)
+        if trace.n_rates != len(rates):
+            raise ValueError("trace does not cover the rate table")
+        self.trace = trace
+
+    def choose_rate(self, now: float) -> int:
+        best = self.trace.best_rate_at(now)
+        if best is None:
+            # Nothing gets through: send at the most robust rate (the
+            # frame is lost either way; this minimises wasted airtime
+            # relative to losing a longer high-rate frame... the lowest
+            # rate maximises the chance the trace is pessimistic).
+            best = 0
+        self.current_rate = best
+        return best

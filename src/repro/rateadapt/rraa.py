@@ -1,0 +1,138 @@
+"""RRAA — Robust Rate Adaptation Algorithm [Wong et al. 2006].
+
+RRAA estimates the short-term frame loss ratio ``P`` over a window of
+the most recent transmissions at the current rate, and compares it to
+two per-rate thresholds:
+
+* ``P_MTL`` (maximum tolerable loss): above it, the next-lower rate
+  would yield more throughput — step down.
+* ``P_ORI`` (opportunistic rate increase): below it, probe the
+  next-higher rate — step up.
+
+With per-frame airtime ``tau_i`` (inversely proportional to the
+nominal rate for fixed frame size), the critical loss ratio at which
+rate ``i`` ties with rate ``i-1`` is ``P* = 1 - tau_i / tau_{i-1}``;
+RRAA uses ``P_MTL = P*`` and ``P_ORI = P_MTL(i+1) / theta`` with
+``theta ~ 2`` (we follow the published constants).
+
+RRAA's A-RTS (adaptive RTS) filter turns RTS/CTS on when losses look
+collision-like: the RTS window grows on a loss that followed an
+unprotected transmission and shrinks on successes.  The paper finds
+A-RTS largely ineffective under unpredictable interference
+(section 6.4) — a result our Fig. 17 bench reproduces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.core.feedback import Feedback
+from repro.phy.rates import RateTable
+from repro.rateadapt.base import RateAdapter
+
+__all__ = ["Rraa"]
+
+
+class Rraa(RateAdapter):
+    """Short-term loss-ratio rate adaptation with adaptive RTS.
+
+    Args:
+        rates: available bit rates.
+        window: loss estimation window in frames (paper: tens of
+            frames; published RRAA uses ~40 at mid rates).
+        theta: divisor relating P_ORI to the next rate's P_MTL.
+    """
+
+    name = "RRAA"
+
+    def __init__(self, rates: RateTable, window: int = 40,
+                 theta: float = 2.0, initial_rate: int = None):
+        super().__init__(rates, initial_rate)
+        if window < 5:
+            raise ValueError("window must be at least 5 frames")
+        if theta <= 1.0:
+            raise ValueError("theta must exceed 1")
+        self.window = window
+        self.theta = theta
+        self._losses: Deque[bool] = deque(maxlen=window)
+        # Adaptive RTS state.
+        self._rts_window = 0
+        self._rts_counter = 0
+        self._last_frame_used_rts = False
+
+    # -- thresholds ----------------------------------------------------
+
+    def _p_mtl(self, rate_index: int) -> float:
+        """Maximum tolerable loss ratio at ``rate_index``."""
+        if rate_index == 0:
+            return 1.0        # nothing below the lowest rate
+        tau_i = 1.0 / self.rates[rate_index].mbps
+        tau_lower = 1.0 / self.rates[rate_index - 1].mbps
+        return 1.0 - tau_i / tau_lower
+
+    def _p_ori(self, rate_index: int) -> float:
+        """Opportunistic rate increase threshold at ``rate_index``."""
+        if rate_index >= len(self.rates) - 1:
+            return 0.0        # nothing above the highest rate
+        return self._p_mtl(rate_index + 1) / self.theta
+
+    # -- rate selection -------------------------------------------------
+
+    def _loss_ratio(self) -> float:
+        if not self._losses:
+            return 0.0
+        return sum(self._losses) / len(self._losses)
+
+    def choose_rate(self, now: float) -> int:
+        # Decisions happen once per window's worth of evidence — but
+        # RRAA also reacts immediately when the loss ratio already
+        # exceeds P_MTL with the evidence gathered so far (its
+        # "aggressive" short-term behaviour).
+        if len(self._losses) >= self.window // 2:
+            p = self._loss_ratio()
+            if p > self._p_mtl(self.current_rate):
+                self.current_rate = self._clamped(self.current_rate - 1)
+                self._losses.clear()
+            elif len(self._losses) >= self.window and \
+                    p < self._p_ori(self.current_rate):
+                self.current_rate = self._clamped(self.current_rate + 1)
+                self._losses.clear()
+        return self.current_rate
+
+    # -- adaptive RTS ---------------------------------------------------
+
+    def wants_rts(self, now: float) -> bool:
+        use = self._rts_counter > 0
+        if use:
+            self._rts_counter -= 1
+        self._last_frame_used_rts = use
+        return use
+
+    def _update_rts(self, delivered: bool) -> None:
+        if delivered:
+            if self._last_frame_used_rts:
+                self._rts_window += 1      # RTS seemed to help
+            else:
+                self._rts_window = max(0, self._rts_window - 1)
+        else:
+            if not self._last_frame_used_rts:
+                self._rts_window = max(1, self._rts_window * 2)
+            else:
+                self._rts_window = max(0, self._rts_window // 2)
+        self._rts_window = min(self._rts_window, 60)
+        self._rts_counter = self._rts_window
+
+    # -- outcome reporting ----------------------------------------------
+
+    def on_feedback(self, now: float, rate_index: int,
+                    feedback: Feedback, airtime: float) -> None:
+        if rate_index == self.current_rate:
+            self._losses.append(not feedback.frame_ok)
+        self._update_rts(feedback.frame_ok)
+
+    def on_silent_loss(self, now: float, rate_index: int,
+                       airtime: float) -> None:
+        if rate_index == self.current_rate:
+            self._losses.append(True)
+        self._update_rts(False)

@@ -1,0 +1,133 @@
+"""SampleRate [Bicket 2005] — the frame-level baseline.
+
+SampleRate picks the bit rate minimising the *average transmission
+time per successfully delivered frame*, estimated over a sliding
+window, and spends 10% of frames sampling other rates to discover
+channel changes.  Its window makes it robust to collisions (losses
+inflate all rates' averages roughly equally) but slow to react to
+fades — the paper measures ~600 ms convergence (Fig. 15).
+
+The paper uses a one-second averaging window instead of Bicket's ten
+seconds because it performed better in their experiments (section
+6.1); we default to the same.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.core.feedback import Feedback
+from repro.phy.rates import RateTable
+from repro.rateadapt.base import RateAdapter
+
+__all__ = ["SampleRate"]
+
+
+class SampleRate(RateAdapter):
+    """Minimise windowed average transmission time per delivery.
+
+    Args:
+        rates: available bit rates.
+        window: averaging window in seconds (paper's tuned value: 1 s).
+        sample_every: one in this many frames probes a different rate.
+    """
+
+    name = "SampleRate"
+
+    def __init__(self, rates: RateTable, window: float = 1.0,
+                 sample_every: int = 10, initial_rate: int = None):
+        super().__init__(rates, initial_rate)
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if sample_every < 2:
+            raise ValueError("sample_every must be at least 2")
+        self.window = window
+        self.sample_every = sample_every
+        # Per rate: deque of (time, airtime_spent, delivered).
+        self._history: Tuple[Deque, ...] = tuple(
+            deque() for _ in range(len(rates)))
+        self._frames_sent = 0
+        self._sample_cursor = 0
+        # Smallest airtime ever seen per rate ~ its lossless frame time.
+        self._lossless = [float("inf")] * len(rates)
+
+    def _expire(self, now: float) -> None:
+        for dq in self._history:
+            while dq and dq[0][0] < now - self.window:
+                dq.popleft()
+
+    def _avg_tx_time(self, rate_index: int) -> float:
+        """Average airtime per successful delivery; inf if none."""
+        dq = self._history[rate_index]
+        if not dq:
+            return float("inf")
+        spent = sum(item[1] for item in dq)
+        delivered = sum(1 for item in dq if item[2])
+        if delivered == 0:
+            return float("inf")
+        return spent / delivered
+
+    def _best_rate(self) -> int:
+        times = [self._avg_tx_time(r) for r in range(len(self.rates))]
+        best = min(range(len(times)), key=lambda r: times[r])
+        if times[best] == float("inf"):
+            return self.current_rate
+        return best
+
+    def _lossless_estimate(self, rate_index: int) -> float:
+        """Estimated retry-free airtime of one frame at ``rate_index``.
+
+        Uses the smallest airtime observed at that rate, or scales a
+        neighbour's observation by the nominal throughput ratio.
+        """
+        if self._lossless[rate_index] < float("inf"):
+            return self._lossless[rate_index]
+        for r, seen in enumerate(self._lossless):
+            if seen < float("inf"):
+                return seen * self.rates[r].mbps / self.rates[
+                    rate_index].mbps
+        return 0.0   # nothing observed: everything is fair game
+
+    def _pick_sample_rate(self, best: int) -> int:
+        """Round-robin over rates that could plausibly beat the best.
+
+        Bicket's heuristic: never sample a rate whose *lossless*
+        transmission time already exceeds the current best average —
+        such a rate cannot win even with zero losses.
+        """
+        best_time = self._avg_tx_time(best)
+        candidates = [
+            r for r in range(len(self.rates))
+            if r != best and self._lossless_estimate(r) < best_time
+        ]
+        if not candidates:
+            return best
+        self._sample_cursor = (self._sample_cursor + 1) % len(candidates)
+        return candidates[self._sample_cursor]
+
+    def choose_rate(self, now: float) -> int:
+        self._expire(now)
+        best = self._best_rate()
+        self._frames_sent += 1
+        if self._frames_sent % self.sample_every == 0:
+            rate = self._pick_sample_rate(best)
+        else:
+            rate = best
+        self.current_rate = best
+        return rate
+
+    def _record(self, now: float, rate_index: int, airtime: float,
+                delivered: bool) -> None:
+        self._history[rate_index].append((now, airtime, delivered))
+        if airtime > 0:
+            self._lossless[rate_index] = min(self._lossless[rate_index],
+                                             airtime)
+
+    def on_feedback(self, now: float, rate_index: int,
+                    feedback: Feedback, airtime: float) -> None:
+        self._record(now, rate_index, airtime, feedback.frame_ok)
+
+    def on_silent_loss(self, now: float, rate_index: int,
+                       airtime: float) -> None:
+        self._record(now, rate_index, airtime, False)

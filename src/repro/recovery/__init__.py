@@ -1,0 +1,30 @@
+"""Error recovery protocols that compose with SoftRate.
+
+The paper is explicit that rate adaptation and error recovery are
+separate concerns joined by the BER interface (section 3.3): SoftRate
+works with whole-frame ARQ, with PPR-style partial packet recovery
+(its reference [12], which *also* consumes SoftPHY hints), and with
+incremental-redundancy hybrid ARQ (WiMax/HSDPA/ZipTx) — only the
+optimal thresholds change.  This package implements all three over the
+bit-exact PHY so that claim can be exercised end to end:
+
+* :class:`~repro.recovery.arq.FrameArqProtocol` — 802.11-style
+  whole-frame retransmission;
+* :class:`~repro.recovery.ppr.PprProtocol` — retransmit only the
+  chunks whose SoftPHY hints show low confidence;
+* :class:`~repro.recovery.incremental.IncrementalRedundancyProtocol` —
+  send extra parity (the punctured bits) on failure and re-decode at a
+  lower effective code rate, Chase-combining repeated LLRs.
+"""
+
+from repro.recovery.base import RecoveryOutcome
+from repro.recovery.arq import FrameArqProtocol
+from repro.recovery.ppr import PprProtocol
+from repro.recovery.incremental import IncrementalRedundancyProtocol
+
+__all__ = [
+    "RecoveryOutcome",
+    "FrameArqProtocol",
+    "PprProtocol",
+    "IncrementalRedundancyProtocol",
+]

@@ -1,0 +1,56 @@
+"""Whole-frame ARQ: the 802.11 a/b/g baseline recovery scheme."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.phy.transceiver import Transceiver
+from repro.recovery.base import RecoveryOutcome
+
+__all__ = ["FrameArqProtocol"]
+
+
+class FrameArqProtocol:
+    """Retransmit the entire frame until its CRC-32 passes.
+
+    Args:
+        phy: the transceiver.
+        channel: callable ``(tx_symbols, round_index) -> (rx_symbols,
+            gains)`` applying one independent channel realisation.
+        max_rounds: attempts before giving up (802.11 default retry
+            chain is 7 + the original).
+    """
+
+    name = "frame-ARQ"
+
+    def __init__(self, phy: Transceiver,
+                 channel: Callable, max_rounds: int = 8):
+        if max_rounds < 1:
+            raise ValueError("need at least one round")
+        self.phy = phy
+        self.channel = channel
+        self.max_rounds = max_rounds
+
+    def deliver(self, payload_bits: np.ndarray,
+                rate_index: int) -> RecoveryOutcome:
+        """Deliver one payload; see :class:`RecoveryOutcome`."""
+        payload_bits = np.asarray(payload_bits, dtype=np.uint8)
+        airtime = 0.0
+        symbol_time = self.phy.mode.symbol_time
+        for round_index in range(self.max_rounds):
+            tx = self.phy.transmit(payload_bits, rate_index=rate_index)
+            airtime += tx.layout.airtime(symbol_time)
+            rx_symbols, gains = self.channel(tx.symbols, round_index)
+            rx = self.phy.receive(rx_symbols, gains, tx.layout)
+            if rx.crc_ok and np.array_equal(rx.payload_bits,
+                                            payload_bits):
+                return RecoveryOutcome(
+                    delivered=True, rounds=round_index + 1,
+                    airtime=airtime, payload_bits=payload_bits.size,
+                    feedback_bits=round_index + 1)
+        return RecoveryOutcome(delivered=False, rounds=self.max_rounds,
+                               airtime=airtime,
+                               payload_bits=payload_bits.size,
+                               feedback_bits=self.max_rounds)

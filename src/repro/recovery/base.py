@@ -1,0 +1,35 @@
+"""Shared types for the error-recovery protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecoveryOutcome"]
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """Result of delivering one payload through a recovery protocol.
+
+    Attributes:
+        delivered: the payload was reconstructed and CRC-verified.
+        rounds: transmissions used (1 = first try succeeded).
+        airtime: total seconds of channel time spent, including the
+            per-round preamble/header overhead.
+        payload_bits: size of the delivered payload.
+        feedback_bits: bits of feedback the receiver sent (ARQ: 1-bit
+            ACK per round; PPR: the chunk bitmap; IR: 1-bit NACKs).
+    """
+
+    delivered: bool
+    rounds: int
+    airtime: float
+    payload_bits: int
+    feedback_bits: int
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second of airtime."""
+        if not self.delivered or self.airtime <= 0:
+            return 0.0
+        return self.payload_bits / self.airtime

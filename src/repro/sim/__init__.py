@@ -1,0 +1,41 @@
+"""A discrete-event wireless network simulator (the ns-3 stand-in).
+
+The paper evaluates SoftRate in ns-3 with the PHY replaced by
+software-radio traces (section 6.1).  This package plays the same
+role:
+
+* :mod:`repro.sim.eventsim` — deterministic event engine;
+* :mod:`repro.sim.queueing` — drop-tail queues;
+* :mod:`repro.sim.wired` — point-to-point links (the AP-LAN backhaul);
+* :mod:`repro.sim.tcp` / :mod:`repro.sim.udp` — transports;
+* :mod:`repro.sim.wireless` — the trace-driven wireless channel with
+  collision geometry (preamble/postamble overlap accounting);
+* :mod:`repro.sim.mac` — 802.11-like CSMA/CA MAC with link-layer
+  feedback, probabilistic carrier sense, and pluggable rate adapters;
+* :mod:`repro.sim.topology` — the Fig. 12 evaluation topology.
+"""
+
+from repro.sim.eventsim import Simulator
+from repro.sim.queueing import DropTailQueue
+from repro.sim.wired import PointToPointLink
+from repro.sim.tcp import TcpReceiver, TcpSender, Segment
+from repro.sim.udp import UdpSource
+from repro.sim.wireless import WirelessChannel, MacFrame
+from repro.sim.mac import Station, MacConfig
+from repro.sim.topology import AccessPointNetwork, run_tcp_uplink
+
+__all__ = [
+    "Simulator",
+    "DropTailQueue",
+    "PointToPointLink",
+    "TcpReceiver",
+    "TcpSender",
+    "Segment",
+    "UdpSource",
+    "WirelessChannel",
+    "MacFrame",
+    "Station",
+    "MacConfig",
+    "AccessPointNetwork",
+    "run_tcp_uplink",
+]

@@ -1,0 +1,215 @@
+"""An 802.11-like CSMA/CA MAC with link-layer BER feedback.
+
+Each :class:`Station` runs DIFS + slotted binary-exponential backoff,
+transmits the head-of-line frame at the rate chosen by its (per-peer)
+rate adapter, and waits one reserved feedback slot (SIFS + a
+lowest-rate feedback frame, like an 802.11 ACK).  The fate of the
+transmission — computed by :class:`repro.sim.wireless.WirelessChannel`
+from the trace and any overlapping transmissions — is reported to the
+adapter as either feedback (with the receiver's interference-free BER
+and SNR estimates) or a silent loss.
+
+Frames whose feedback shows failure are retransmitted with doubled
+contention window up to ``retry_limit`` attempts, after which they are
+dropped (TCP then sees the loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.rateadapt.base import RateAdapter
+from repro.sim.eventsim import Simulator
+from repro.sim.queueing import DropTailQueue
+from repro.sim.wireless import (FrameFate, MacFrame, Transmission,
+                                WirelessChannel)
+
+__all__ = ["MacConfig", "Station", "FrameLogEntry"]
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """802.11a-like MAC timing and policy parameters."""
+
+    slot_time: float = 9e-6
+    sifs: float = 16e-6
+    difs: float = 34e-6
+    cw_min: int = 15
+    cw_max: int = 1023
+    retry_limit: int = 7
+    queue_capacity: int = 50
+    #: duration of the reserved feedback (ACK) slot at the lowest rate.
+    feedback_duration: float = 50e-6
+    #: added airtime when a frame is protected by RTS/CTS.
+    rts_cts_overhead: float = 120e-6
+    #: preamble/postamble durations (training symbols at 8 us each).
+    preamble_duration: float = 16e-6
+    postamble_duration: float = 8e-6
+
+
+@dataclass(frozen=True)
+class FrameLogEntry:
+    """One transmission attempt, for rate-accuracy analysis (Fig. 14)."""
+
+    time: float
+    src: int
+    dest: int
+    rate_index: int
+    kind: str               # FrameFate.kind
+    delivered: bool
+    retry: int
+
+
+class Station:
+    """One MAC entity (a client or the AP).
+
+    Args:
+        sim: event engine.
+        channel: the shared wireless channel.
+        station_id: unique id (also the address in traces).
+        rng: random source for backoff.
+        adapter_factory: builds a rate adapter per peer station.
+        airtime_fn: ``(payload_bits, rate_index) -> seconds`` frame
+            duration (from the PHY layout; supplied by the topology).
+        config: MAC parameters.
+        on_deliver: callback for frames received for this station.
+        on_queue_drain: optional callback fired when the transmit
+            queue has room again (used by saturated UDP sources).
+    """
+
+    def __init__(self, sim: Simulator, channel: WirelessChannel,
+                 station_id: int, rng: np.random.Generator,
+                 adapter_factory: Callable[[int], RateAdapter],
+                 airtime_fn: Callable[[int, int], float],
+                 config: MacConfig = MacConfig(),
+                 on_deliver: Optional[Callable[[MacFrame], None]] = None,
+                 on_queue_drain: Optional[Callable[[], None]] = None):
+        self.sim = sim
+        self.channel = channel
+        self.id = station_id
+        self.rng = rng
+        self.config = config
+        self._adapter_factory = adapter_factory
+        self._adapters: Dict[int, RateAdapter] = {}
+        self._airtime = airtime_fn
+        self.queue = DropTailQueue(config.queue_capacity)
+        self.on_deliver = on_deliver or (lambda frame: None)
+        self.on_queue_drain = on_queue_drain
+        channel.stations[station_id] = self
+        self._busy = False          # contending or transmitting
+        self._retry = 0
+        self._cw = config.cw_min
+        self._seq = 0
+        self.frame_log: List[FrameLogEntry] = []
+        self.delivered_frames = 0
+        self.dropped_frames = 0
+
+    # -- upper-layer interface ---------------------------------------------
+
+    def adapter(self, peer: int) -> RateAdapter:
+        """The rate adapter used toward ``peer`` (created on demand)."""
+        if peer not in self._adapters:
+            self._adapters[peer] = self._adapter_factory(peer)
+        return self._adapters[peer]
+
+    def send(self, dest: int, payload, payload_bits: int) -> bool:
+        """Queue a frame for ``dest``; returns False if the queue is full."""
+        frame = MacFrame(src=self.id, dest=dest, seq=self._seq,
+                         payload=payload, payload_bits=payload_bits)
+        self._seq = (self._seq + 1) % 4096
+        accepted = self.queue.push(frame)
+        if accepted and not self._busy:
+            self._begin_contention()
+        return accepted
+
+    # -- channel access -----------------------------------------------------
+
+    def _begin_contention(self) -> None:
+        self._busy = True
+        backoff = int(self.rng.integers(0, self._cw + 1))
+        self._attempt_after(self.config.difs
+                            + backoff * self.config.slot_time)
+
+    def _attempt_after(self, delay: float) -> None:
+        self.sim.schedule(delay, self._try_transmit)
+
+    def _try_transmit(self) -> None:
+        frame = self.queue.peek()
+        if frame is None:
+            self._busy = False
+            return
+        busy_until = self.channel.medium_busy_until(self.id, self.sim.now)
+        if busy_until is not None:
+            # Medium sensed busy: defer to its end, then re-contend.
+            backoff = int(self.rng.integers(0, self._cw + 1))
+            wait = max(busy_until - self.sim.now, 0.0) + self.config.difs \
+                + backoff * self.config.slot_time
+            self._attempt_after(wait)
+            return
+        self._transmit(frame)
+
+    def _transmit(self, frame: MacFrame) -> None:
+        adapter = self.adapter(frame.dest)
+        rate_index = adapter.choose_rate(self.sim.now)
+        use_rts = adapter.wants_rts(self.sim.now)
+        airtime = self._airtime(frame.payload_bits, rate_index)
+        start = self.sim.now
+        overhead = self.config.rts_cts_overhead if use_rts else 0.0
+        tx = Transmission(
+            frame=frame, rate_index=rate_index, start=start + overhead,
+            end=start + overhead + airtime,
+            preamble_end=start + overhead + self.config.preamble_duration,
+            postamble_start=start + overhead + airtime
+            - self.config.postamble_duration,
+            rts_protected=use_rts)
+        self.channel.begin_transmission(tx)
+        done = overhead + airtime + self.config.sifs \
+            + self.config.feedback_duration
+        self.sim.schedule(done, lambda: self._conclude(tx, airtime))
+
+    # -- outcome handling -----------------------------------------------------
+
+    def _conclude(self, tx: Transmission, airtime: float) -> None:
+        fate = self.channel.conclude_transmission(tx)
+        adapter = self.adapter(tx.frame.dest)
+        self.frame_log.append(FrameLogEntry(
+            time=tx.start, src=self.id, dest=tx.frame.dest,
+            rate_index=tx.rate_index, kind=fate.kind,
+            delivered=fate.delivered, retry=self._retry))
+        if fate.feedback is not None:
+            adapter.on_feedback(self.sim.now, tx.rate_index,
+                                fate.feedback.quantised(), airtime)
+        else:
+            adapter.on_silent_loss(self.sim.now, tx.rate_index, airtime)
+
+        if fate.delivered:
+            receiver = self.channel.stations.get(tx.frame.dest)
+            if receiver is not None:
+                receiver.on_deliver(tx.frame)
+            self.delivered_frames += 1
+            self._frame_done(success=True)
+        else:
+            self._retry += 1
+            if self._retry > self.config.retry_limit:
+                self.dropped_frames += 1
+                self._frame_done(success=False)
+            else:
+                self._cw = min(2 * self._cw + 1, self.config.cw_max)
+                self._busy = True
+                backoff = int(self.rng.integers(0, self._cw + 1))
+                self._attempt_after(self.config.difs
+                                    + backoff * self.config.slot_time)
+
+    def _frame_done(self, success: bool) -> None:
+        self.queue.pop()
+        self._retry = 0
+        self._cw = self.config.cw_min
+        if self.on_queue_drain is not None:
+            self.on_queue_drain()
+        if not self.queue.empty:
+            self._begin_contention()
+        else:
+            self._busy = False

@@ -1,0 +1,53 @@
+"""Drop-tail FIFO queues (the paper's MAC and router queues)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+__all__ = ["DropTailQueue"]
+
+
+class DropTailQueue:
+    """A bounded FIFO that drops arrivals when full.
+
+    The paper sizes each node's MAC queue "slightly exceeding the
+    bandwidth-delay product of the bottleneck wireless link"
+    (section 6.1); :mod:`repro.sim.topology` computes that size.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.capacity = capacity
+        self._items = deque()
+        self.drops = 0
+        self.enqueued = 0
+
+    def push(self, item: Any) -> bool:
+        """Append ``item``; returns False (and counts a drop) if full."""
+        if len(self._items) >= self.capacity:
+            self.drops += 1
+            return False
+        self._items.append(item)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[Any]:
+        """Remove and return the head, or None when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def peek(self) -> Optional[Any]:
+        """The head without removing it, or None when empty."""
+        if not self._items:
+            return None
+        return self._items[0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items

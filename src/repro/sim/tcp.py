@@ -1,0 +1,254 @@
+"""TCP Reno over the simulator.
+
+The paper evaluates rate adaptation under *TCP* because "applications
+like TCP and VOIP are more sensitive to losses ... gains obtained on
+UDP transfers without congestion control are hard to realize"
+(section 6).  The decisive interaction it measures: a slow rate
+adapter lets the channel burst-lose several segments of one window,
+TCP halves (or RTO-collapses) its offered load, and throughput craters
+— while a responsive adapter hides the fades from TCP entirely.
+
+This module implements the Reno mechanisms that matter for that
+dynamic: slow start, congestion avoidance, fast
+retransmit/fast recovery on three duplicate ACKs, and RTO with Karn's
+algorithm and exponential backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from repro.sim.eventsim import EventHandle, Simulator
+
+__all__ = ["Segment", "TcpSender", "TcpReceiver", "MSS_BYTES"]
+
+#: Paper section 6.1: "N TCP flows are set up to transfer 1400 byte
+#: data frames".
+MSS_BYTES = 1400
+
+_HEADER_BYTES = 40
+_INITIAL_RTO = 1.0
+_MIN_RTO = 0.2
+_MAX_RTO = 60.0
+_DUPACK_THRESHOLD = 3
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One TCP segment (data or pure ACK).
+
+    Sequence numbers count segments, not bytes, which keeps the
+    arithmetic readable; ``size_bytes`` carries the wire size.
+    """
+
+    flow: int
+    seq: int
+    is_ack: bool = False
+    ack: int = 0            # cumulative: next expected segment
+    size_bytes: int = MSS_BYTES + _HEADER_BYTES
+
+    @property
+    def size_bits(self) -> int:
+        return 8 * self.size_bytes
+
+
+class TcpSender:
+    """A saturated (always-backlogged) TCP Reno sender.
+
+    Args:
+        sim: event engine.
+        flow: flow identifier carried in every segment.
+        transmit: callback delivering a segment into the network stack
+            below (MAC queue or wired link).
+    """
+
+    def __init__(self, sim: Simulator, flow: int,
+                 transmit: Callable[[Segment], None]):
+        self.sim = sim
+        self.flow = flow
+        self._transmit = transmit
+        # Congestion state (in segments).
+        self.cwnd = 1.0
+        self.ssthresh = 64.0
+        self.next_seq = 0           # next new segment to send
+        self.highest_acked = 0      # all segments below this are acked
+        self._dupacks = 0
+        self._in_fast_recovery = False
+        self._recovery_point = 0
+        # RTT estimation (RFC 6298).
+        self._srtt: Optional[float] = None
+        self._rttvar: Optional[float] = None
+        self._rto = _INITIAL_RTO
+        self._timer: Optional[EventHandle] = None
+        self._send_times: Dict[int, float] = {}
+        self._retransmitted: Set[int] = set()
+        # Statistics.
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+
+    # -- public interface ------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting."""
+        self._send_window()
+
+    @property
+    def acked_bytes(self) -> int:
+        """Application bytes delivered (cumulative)."""
+        return self.highest_acked * MSS_BYTES
+
+    def on_ack(self, segment: Segment) -> None:
+        """Process an incoming cumulative ACK."""
+        if not segment.is_ack or segment.flow != self.flow:
+            return
+        ack = segment.ack
+        if ack > self.highest_acked:
+            self._on_new_ack(ack)
+        elif ack == self.highest_acked:
+            self._on_dupack()
+        self._send_window()
+
+    # -- ACK clocking ------------------------------------------------------
+
+    def _on_new_ack(self, ack: int) -> None:
+        newly = ack - self.highest_acked
+        # RTT sample: only for segments never retransmitted (Karn).
+        sample_seq = ack - 1
+        if sample_seq in self._send_times and \
+                sample_seq not in self._retransmitted:
+            self._update_rtt(self.sim.now - self._send_times[sample_seq])
+        for seq in range(self.highest_acked, ack):
+            self._send_times.pop(seq, None)
+            self._retransmitted.discard(seq)
+        self.highest_acked = ack
+        self._dupacks = 0
+
+        if self._in_fast_recovery:
+            if ack >= self._recovery_point:
+                self._in_fast_recovery = False
+                self.cwnd = self.ssthresh
+            else:
+                # Partial ACK: retransmit the next hole (NewReno-style
+                # single-hole handling keeps recovery from stalling).
+                self._retransmit(ack)
+                self.cwnd = max(1.0, self.cwnd - newly + 1.0)
+        elif self.cwnd < self.ssthresh:
+            self.cwnd += newly                     # slow start
+        else:
+            self.cwnd += newly / self.cwnd         # congestion avoidance
+
+        self._restart_timer()
+
+    def _on_dupack(self) -> None:
+        self._dupacks += 1
+        if self._in_fast_recovery:
+            self.cwnd += 1.0       # inflate per extra dupack
+        elif self._dupacks == _DUPACK_THRESHOLD:
+            # Fast retransmit + fast recovery.
+            flight = self.next_seq - self.highest_acked
+            self.ssthresh = max(flight / 2.0, 2.0)
+            self.cwnd = self.ssthresh + _DUPACK_THRESHOLD
+            self._in_fast_recovery = True
+            self._recovery_point = self.next_seq
+            self._retransmit(self.highest_acked)
+
+    # -- transmission ------------------------------------------------------
+
+    def _window_limit(self) -> int:
+        return self.highest_acked + int(self.cwnd)
+
+    def _send_window(self) -> None:
+        while self.next_seq < self._window_limit():
+            seq = self.next_seq
+            self.next_seq += 1     # before sending, so the RTO timer
+            self._send_segment(seq, new=True)   # sees data in flight
+
+    def _send_segment(self, seq: int, new: bool) -> None:
+        if not new:
+            self.retransmissions += 1
+            self._retransmitted.add(seq)
+        self.segments_sent += 1
+        self._send_times[seq] = self.sim.now
+        self._transmit(Segment(flow=self.flow, seq=seq))
+        if self._timer is None:
+            self._restart_timer()
+
+    def _retransmit(self, seq: int) -> None:
+        self._send_segment(seq, new=False)
+        self._restart_timer()
+
+    # -- RTO management ------------------------------------------------------
+
+    def _update_rtt(self, rtt: float) -> None:
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(
+                self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = min(max(self._srtt + 4.0 * self._rttvar, _MIN_RTO),
+                        _MAX_RTO)
+
+    def _restart_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        if self.highest_acked >= self.next_seq:
+            self._timer = None
+            return
+        self._timer = self.sim.schedule(self._rto, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self.highest_acked >= self.next_seq:
+            return
+        self.timeouts += 1
+        flight = self.next_seq - self.highest_acked
+        self.ssthresh = max(flight / 2.0, 2.0)
+        self.cwnd = 1.0
+        self._dupacks = 0
+        self._in_fast_recovery = False
+        self._rto = min(self._rto * 2.0, _MAX_RTO)   # exponential backoff
+        self._retransmit(self.highest_acked)
+
+
+class TcpReceiver:
+    """Cumulative-ACK receiver with out-of-order buffering.
+
+    Args:
+        sim: event engine.
+        flow: flow identifier.
+        transmit: callback for outgoing ACK segments.
+    """
+
+    def __init__(self, sim: Simulator, flow: int,
+                 transmit: Callable[[Segment], None]):
+        self.sim = sim
+        self.flow = flow
+        self._transmit = transmit
+        self.next_expected = 0
+        self._out_of_order: Set[int] = set()
+        self.received_segments = 0
+
+    def on_data(self, segment: Segment) -> None:
+        """Process an incoming data segment; emits a cumulative ACK."""
+        if segment.is_ack or segment.flow != self.flow:
+            return
+        self.received_segments += 1
+        if segment.seq == self.next_expected:
+            self.next_expected += 1
+            while self.next_expected in self._out_of_order:
+                self._out_of_order.discard(self.next_expected)
+                self.next_expected += 1
+        elif segment.seq > self.next_expected:
+            self._out_of_order.add(segment.seq)
+        self._transmit(Segment(flow=self.flow, seq=0, is_ack=True,
+                               ack=self.next_expected,
+                               size_bytes=_HEADER_BYTES))
+
+    @property
+    def delivered_bytes(self) -> int:
+        """In-order application bytes delivered so far."""
+        return self.next_expected * MSS_BYTES

@@ -1,0 +1,76 @@
+"""Point-to-point wired links (the AP to LAN backhaul of Fig. 12)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.eventsim import Simulator
+from repro.sim.queueing import DropTailQueue
+
+__all__ = ["PointToPointLink"]
+
+
+class PointToPointLink:
+    """A full-duplex serial link with a drop-tail queue per direction.
+
+    Args:
+        sim: the event engine.
+        rate_bps: link bandwidth (paper: 50 Mbps).
+        delay: one-way propagation delay (paper: 10 ms).
+        queue_capacity: packets buffered per direction.
+
+    Each direction serialises packets in FIFO order: a packet of ``n``
+    bits occupies the link for ``n / rate_bps`` seconds, then arrives
+    ``delay`` seconds later at the far end's callback.
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: float = 50e6,
+                 delay: float = 10e-3, queue_capacity: int = 1000):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self._queues = {}
+        self._busy = {}
+        self._sinks = {}
+        self._queue_capacity = queue_capacity
+
+    def attach(self, endpoint: str,
+               deliver: Callable[[Any], None]) -> None:
+        """Register an endpoint (``"a"`` or ``"b"``) receive callback."""
+        self._sinks[endpoint] = deliver
+        self._queues.setdefault(endpoint, DropTailQueue(
+            self._queue_capacity))
+        self._busy.setdefault(endpoint, False)
+
+    def send(self, from_endpoint: str, packet: Any,
+             size_bits: int) -> bool:
+        """Queue ``packet`` for transmission toward the other endpoint."""
+        other = "b" if from_endpoint == "a" else "a"
+        if other not in self._sinks:
+            raise RuntimeError(f"endpoint {other!r} not attached")
+        queue = self._queues[from_endpoint]
+        accepted = queue.push((packet, size_bits))
+        if accepted and not self._busy[from_endpoint]:
+            self._transmit_next(from_endpoint)
+        return accepted
+
+    def _transmit_next(self, endpoint: str) -> None:
+        queue = self._queues[endpoint]
+        item = queue.pop()
+        if item is None:
+            self._busy[endpoint] = False
+            return
+        self._busy[endpoint] = True
+        packet, size_bits = item
+        tx_time = size_bits / self.rate_bps
+        other = "b" if endpoint == "a" else "a"
+
+        def deliver():
+            self._sinks[other](packet)
+
+        self.sim.schedule(tx_time + self.delay, deliver)
+        self.sim.schedule(tx_time, lambda: self._transmit_next(endpoint))

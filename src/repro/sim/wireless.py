@@ -1,0 +1,274 @@
+"""The trace-driven wireless channel with collision geometry.
+
+Frame fates come from two orthogonal sources, exactly as in the
+paper's methodology (section 6.1):
+
+* **channel state** — looked up in the link's :class:`LinkTrace`
+  ("these traces collected in isolation accurately model frame
+  receptions when there are no concurrent transmissions");
+* **collisions** — computed from the temporal overlap of concurrent
+  transmissions ("in case more than two senders transmit
+  simultaneously, we assume both colliding frames are lost").
+
+The overlap geometry implements section 3.2's taxonomy:
+
+* the receiver locks onto the earliest-starting frame; a later
+  overlapping frame corrupts its tail — a *collision* the SoftPHY
+  detector can excise (success probability ``detect_prob``, 0.8 for
+  the present implementation, 1.0 for the "ideal" variant of
+  section 6.4);
+* a frame arriving while the receiver is locked elsewhere loses its
+  preamble; if its **postamble** outlives the interference the
+  receiver still learns of the frame (postamble feedback), otherwise
+  the loss is *silent*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.feedback import Feedback
+from repro.traces.format import FrameObservation, LinkTrace
+
+__all__ = ["MacFrame", "Transmission", "FrameFate", "WirelessChannel",
+           "COLLISION_BER"]
+
+#: BER reported when a collision goes *undetected*: the receiver sees
+#: garbage over part of the frame and (wrongly) attributes it to the
+#: channel.  Any value deep in the "move down" region works.
+COLLISION_BER = 0.1
+
+
+@dataclass
+class MacFrame:
+    """One link-layer frame handed to the channel."""
+
+    src: int
+    dest: int
+    seq: int
+    payload: Any
+    payload_bits: int
+    is_feedback: bool = False
+
+
+@dataclass
+class Transmission:
+    """An in-flight frame."""
+
+    frame: MacFrame
+    rate_index: int
+    start: float
+    end: float
+    preamble_end: float
+    postamble_start: float
+    rts_protected: bool = False
+    #: carrier-sense samples, keyed by observing station id.
+    sensed_by: Dict[int, bool] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FrameFate:
+    """What the receiver experienced for one transmission.
+
+    ``kind`` is one of:
+
+    * ``"clean"`` — no overlap; outcome purely from the trace.
+    * ``"collided"`` — receiver was locked onto this frame when
+      another transmission overlapped its body.
+    * ``"postamble"`` — preamble lost to an earlier frame, but the
+      postamble survived (only when postambles are enabled).
+    * ``"silent"`` — the receiver never learned the frame existed
+      (preamble and postamble both unusable, or channel too weak).
+    """
+
+    kind: str
+    delivered: bool
+    feedback: Optional[Feedback]
+    observation: Optional[FrameObservation]
+    interference_detected: bool = False
+
+    @property
+    def is_silent(self) -> bool:
+        return self.feedback is None
+
+
+class WirelessChannel:
+    """A single collision domain driven by per-link traces.
+
+    Args:
+        traces: map from ``(src, dest)`` station-id pairs to the
+            :class:`LinkTrace` modelling that unidirectional link.
+        rng: random source (collision-detection coin flips, carrier
+            sense sampling).
+        detect_prob: probability the SoftPHY interference detector
+            flags a collided frame (paper section 6.4: 0.8 measured,
+            1.0 for the ideal variant).
+        use_postambles: enable postamble detection (section 3.2).
+        carrier_sense_prob: function ``(listener, transmitter) ->
+            probability`` that ``listener`` senses ``transmitter``'s
+            transmissions (paper section 6.4 sweeps this); default
+            perfect carrier sense.
+    """
+
+    def __init__(self, traces: Dict[Tuple[int, int], LinkTrace],
+                 rng: np.random.Generator, detect_prob: float = 0.8,
+                 use_postambles: bool = True,
+                 carrier_sense_prob: Optional[Callable[[int, int],
+                                                       float]] = None):
+        if not 0.0 <= detect_prob <= 1.0:
+            raise ValueError("detect_prob must be a probability")
+        self.traces = dict(traces)
+        self.rng = rng
+        self.detect_prob = detect_prob
+        self.use_postambles = use_postambles
+        self._cs_prob = carrier_sense_prob or (lambda a, b: 1.0)
+        self._active: List[Transmission] = []
+        self._history: List[Transmission] = []
+        #: station registry (filled by Station.__init__) used to hand
+        #: delivered frames to the destination's upper layer.
+        self.stations: Dict[int, Any] = {}
+        # Statistics for the Table 1 / Fig. 4 experiment.
+        self.stats = {"clean": 0, "collided": 0, "postamble": 0,
+                      "silent": 0, "undetected_collisions": 0}
+
+    # -- carrier sense -----------------------------------------------------
+
+    def _senses(self, listener: int, transmission: Transmission) -> bool:
+        """Whether ``listener`` hears this transmission (sticky sample)."""
+        if transmission.frame.src == listener:
+            return True
+        if listener not in transmission.sensed_by:
+            p = self._cs_prob(listener, transmission.frame.src)
+            transmission.sensed_by[listener] = bool(
+                self.rng.random() < p)
+        return transmission.sensed_by[listener]
+
+    def medium_busy_until(self, listener: int, now: float
+                          ) -> Optional[float]:
+        """Latest end time of transmissions ``listener`` senses.
+
+        Returns ``None`` when the medium appears idle to ``listener``.
+        """
+        self._prune(now)
+        busy_until = None
+        for tx in self._active:
+            if tx.end <= now:
+                continue
+            if self._senses(listener, tx):
+                busy_until = tx.end if busy_until is None else max(
+                    busy_until, tx.end)
+        return busy_until
+
+    # -- transmission ------------------------------------------------------
+
+    def begin_transmission(self, transmission: Transmission) -> None:
+        """Register an in-flight frame (called by the MAC at t=start)."""
+        self._active.append(transmission)
+        self._history.append(transmission)
+
+    def _prune(self, now: float, horizon: float = 0.1) -> None:
+        self._active = [t for t in self._active if t.end > now]
+        if len(self._history) > 4096:
+            self._history = [t for t in self._history
+                             if t.end > now - horizon]
+
+    def _overlapping(self, tx: Transmission) -> List[Transmission]:
+        """Other transmissions overlapping ``tx`` in time.
+
+        Feedback frames are excluded: they occupy the reserved slot
+        after a data frame (SIFS priority) and never collide with data
+        in this model, as in the paper's protocol design.
+        """
+        out = []
+        for other in self._history:
+            if other is tx or other.frame.is_feedback:
+                continue
+            if other.frame.src == tx.frame.src:
+                continue
+            if other.start < tx.end and tx.start < other.end:
+                out.append(other)
+        return out
+
+    def _receiver_deaf(self, tx: Transmission) -> bool:
+        """Half-duplex: the destination was itself transmitting."""
+        for other in self._history:
+            if other is tx:
+                continue
+            if other.frame.src != tx.frame.dest:
+                continue
+            if other.start < tx.end and tx.start < other.end:
+                return True
+        return False
+
+    def _trace_for(self, src: int, dest: int) -> LinkTrace:
+        try:
+            return self.traces[(src, dest)]
+        except KeyError:
+            raise KeyError(f"no trace for link {src} -> {dest}") from None
+
+    def conclude_transmission(self, tx: Transmission) -> FrameFate:
+        """Compute the fate of ``tx`` (called by the MAC at t=end)."""
+        trace = self._trace_for(tx.frame.src, tx.frame.dest)
+        obs = trace.observe(tx.start, tx.rate_index)
+        overlapping = self._overlapping(tx)
+        if tx.rts_protected:
+            overlapping = []        # the exchange reserved the medium
+
+        if self._receiver_deaf(tx):
+            self.stats["silent"] += 1
+            return FrameFate(kind="silent", delivered=False,
+                             feedback=None, observation=obs)
+        if not obs.detected:
+            self.stats["silent"] += 1
+            return FrameFate(kind="silent", delivered=False,
+                             feedback=None, observation=obs)
+        if not overlapping:
+            self.stats["clean"] += 1
+            feedback = Feedback(src=tx.frame.dest, dest=tx.frame.src,
+                                seq=tx.frame.seq, ber=obs.ber_est,
+                                frame_ok=obs.delivered,
+                                snr_db=obs.snr_db)
+            return FrameFate(kind="clean", delivered=obs.delivered,
+                             feedback=feedback, observation=obs)
+
+        locked_to_us = all(tx.start <= other.start
+                           for other in overlapping)
+        if locked_to_us:
+            # Receiver synchronised to us; the interferer corrupts our
+            # body.  Frame lost (paper: colliding frames are lost), but
+            # the header decoded, so feedback flows.
+            self.stats["collided"] += 1
+            detected = bool(self.rng.random() < self.detect_prob)
+            if detected:
+                ber = obs.ber_est       # interference-free portion
+            else:
+                ber = COLLISION_BER     # looks like a channel loss
+                self.stats["undetected_collisions"] += 1
+            feedback = Feedback(src=tx.frame.dest, dest=tx.frame.src,
+                                seq=tx.frame.seq, ber=ber, frame_ok=False,
+                                interference_detected=detected,
+                                snr_db=obs.snr_db)
+            return FrameFate(kind="collided", delivered=False,
+                             feedback=feedback, observation=obs,
+                             interference_detected=detected)
+
+        # Receiver locked elsewhere: our preamble is gone.
+        postamble_clean = self.use_postambles and not any(
+            other.start < tx.end and tx.postamble_start < other.end
+            for other in overlapping)
+        if postamble_clean:
+            self.stats["postamble"] += 1
+            feedback = Feedback(src=tx.frame.dest, dest=tx.frame.src,
+                                seq=tx.frame.seq, ber=obs.ber_est,
+                                frame_ok=False,
+                                interference_detected=True,
+                                snr_db=obs.snr_db, postamble_only=True)
+            return FrameFate(kind="postamble", delivered=False,
+                             feedback=feedback, observation=obs,
+                             interference_detected=True)
+        self.stats["silent"] += 1
+        return FrameFate(kind="silent", delivered=False, feedback=None,
+                         observation=obs)

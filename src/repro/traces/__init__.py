@@ -1,0 +1,35 @@
+"""Channel traces for trace-driven link simulation.
+
+The paper evaluates SoftRate by replacing ns-3's PHY with packet traces
+collected from its software-radio prototype (section 6.1): for each
+link and each bit rate, the trace specifies — for every point in time —
+whether a frame sent then would be received, and what its SNR and
+SoftPHY feedback would be.  We reproduce that methodology:
+
+* :mod:`repro.traces.format` — the :class:`LinkTrace` container and
+  per-frame :class:`FrameObservation` lookup;
+* :mod:`repro.traces.analytic` — a fast modulation/coding performance
+  model (uncoded BER formulas + soft-decision union bound for the K=7
+  punctured code), validated against the full PHY pipeline in
+  ``tests/traces/test_analytic.py``;
+* :mod:`repro.traces.generate` — trace generation, either through the
+  full PHY (bit-exact, slow) or the analytic model (fast, used for the
+  network-scale experiments);
+* :mod:`repro.traces.synthetic` — hand-built traces such as the
+  good/bad alternating channel of Fig. 15;
+* :mod:`repro.traces.workloads` — the Table 4 experiment presets.
+"""
+
+from repro.traces.format import FrameObservation, LinkTrace
+from repro.traces.generate import (generate_fading_trace,
+                                   generate_full_phy_trace)
+from repro.traces.synthetic import alternating_trace, constant_trace
+
+__all__ = [
+    "FrameObservation",
+    "LinkTrace",
+    "generate_fading_trace",
+    "generate_full_phy_trace",
+    "alternating_trace",
+    "constant_trace",
+]

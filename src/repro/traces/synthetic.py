@@ -1,0 +1,102 @@
+"""Hand-built synthetic traces.
+
+:func:`alternating_trace` reproduces the paper's Fig. 15 setup: "the
+channel alternates between a 'good' state (best transmit bit rate is
+QAM16 3/4) and a 'bad' state (best transmit bit rate is QAM16 1/2)
+every 1 second" — used to measure the convergence time of frame-level
+protocols after a sharp channel change.
+
+:func:`constant_trace` builds a time-invariant channel where a chosen
+rate is optimal; useful in unit tests and the interference experiments
+(which want a static channel so the interference effect is isolated).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.phy.rates import RATE_TABLE, RateTable
+from repro.traces.format import LinkTrace
+
+__all__ = ["constant_trace", "alternating_trace"]
+
+#: BER at the best usable rate.  Chosen inside the optimal band
+#: (alpha, beta) of the frame-ARQ thresholds for 1400-byte frames, so
+#: a BER-driven protocol holds the best rate stably; rates further
+#: down improve by the factor-10 separation heuristic.
+_BER_AT_BEST = 1e-5
+_SEPARATION = 10.0
+#: BER reported for rates above the best usable rate.
+_BER_BAD = 3e-2
+
+
+def _column(best_rate: int, n_rates: int) -> tuple:
+    """Per-rate (ber, delivered) for a slot whose best rate is given."""
+    bers = np.empty(n_rates)
+    delivered = np.zeros(n_rates, dtype=bool)
+    for r in range(n_rates):
+        if r <= best_rate:
+            bers[r] = _BER_AT_BEST / _SEPARATION ** (best_rate - r)
+            delivered[r] = True
+        else:
+            bers[r] = min(0.5, _BER_BAD * _SEPARATION ** (r - best_rate - 1))
+            delivered[r] = False
+    return bers, delivered
+
+
+def constant_trace(best_rate: int, duration: float = 10.0,
+                   slot_duration: float = 5e-3,
+                   snr_db: float = 25.0,
+                   rates: Optional[RateTable] = None) -> LinkTrace:
+    """A static channel whose optimal rate never changes."""
+    rates = rates if rates is not None else RATE_TABLE.prototype_subset()
+    if not 0 <= best_rate < len(rates):
+        raise ValueError(f"best rate {best_rate} outside the table")
+    n_slots = max(1, int(round(duration / slot_duration)))
+    bers, delivered = _column(best_rate, len(rates))
+    return LinkTrace(
+        slot_duration=slot_duration,
+        snr_db=np.full(n_slots, snr_db),
+        detected=np.ones(n_slots, dtype=bool),
+        ber_true=np.tile(bers[:, None], (1, n_slots)),
+        ber_est=np.tile(bers[:, None], (1, n_slots)),
+        delivered=np.tile(delivered[:, None], (1, n_slots)),
+        rate_names=rates.names())
+
+
+def alternating_trace(good_rate: int = 5, bad_rate: int = 4,
+                      period: float = 1.0, duration: float = 10.0,
+                      slot_duration: float = 5e-3,
+                      rates: Optional[RateTable] = None,
+                      good_snr_db: float = 25.0,
+                      bad_snr_db: float = 20.0) -> LinkTrace:
+    """The Fig. 15 good/bad alternating channel.
+
+    The channel starts in the *bad* state and toggles every ``period``
+    seconds, so convergence can be measured from both directions.
+    """
+    rates = rates if rates is not None else RATE_TABLE.prototype_subset()
+    n = len(rates)
+    if not (0 <= bad_rate < n and 0 <= good_rate < n):
+        raise ValueError("rates outside the table")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    n_slots = max(1, int(round(duration / slot_duration)))
+    good_bers, good_del = _column(good_rate, n)
+    bad_bers, bad_del = _column(bad_rate, n)
+
+    ber = np.empty((n, n_slots))
+    delivered = np.zeros((n, n_slots), dtype=bool)
+    snr = np.empty(n_slots)
+    for slot in range(n_slots):
+        t = slot * slot_duration
+        in_good = (int(t / period) % 2) == 1
+        ber[:, slot] = good_bers if in_good else bad_bers
+        delivered[:, slot] = good_del if in_good else bad_del
+        snr[slot] = good_snr_db if in_good else bad_snr_db
+    return LinkTrace(slot_duration=slot_duration, snr_db=snr,
+                     detected=np.ones(n_slots, dtype=bool),
+                     ber_true=ber, ber_est=ber, delivered=delivered,
+                     rate_names=rates.names())

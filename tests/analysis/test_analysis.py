@@ -1,0 +1,114 @@
+"""Tests for binning, metrics, and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.binning import aggregate_bits_per_bin, log_bin_ber
+from repro.analysis.metrics import (ccdf, rate_selection_accuracy,
+                                    run_lengths)
+from repro.analysis.tables import format_table
+from repro.sim.mac import FrameLogEntry
+from repro.traces.synthetic import constant_trace
+
+
+class TestLogBinning:
+    def test_bins_by_decade(self):
+        estimates = [1e-3] * 5 + [1e-1] * 5
+        truths = [2e-3] * 5 + [5e-2] * 5
+        bins = log_bin_ber(estimates, truths, decades_per_bin=1.0)
+        assert len(bins) == 2
+        assert bins[0].mean_true == pytest.approx(2e-3)
+        assert bins[1].mean_true == pytest.approx(5e-2)
+
+    def test_min_frames_filter(self):
+        bins = log_bin_ber([1e-3, 1e-1], [1e-3, 1e-1],
+                           decades_per_bin=1.0, min_frames=3)
+        assert bins == []
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            log_bin_ber([1e-3], [1e-3, 1e-2])
+
+    def test_empty(self):
+        assert log_bin_ber([], []) == []
+
+
+class TestAggregateBits:
+    def test_resolves_below_per_frame_limit(self):
+        # 1000 frames of 1000 bits with 1 total error: aggregated BER
+        # 1e-6, unmeasurable per frame.
+        estimates = [1e-6] * 1000
+        errors = [0] * 999 + [1]
+        result = aggregate_bits_per_bin(estimates, errors, 1000,
+                                        decades_per_bin=1.0)
+        assert len(result) == 1
+        _center, true_ber, total_bits = result[0]
+        assert total_bits == 1_000_000
+        assert true_ber == pytest.approx(1e-6)
+
+
+class TestRateAccuracy:
+    def test_classification(self):
+        trace = constant_trace(best_rate=3, duration=1.0)
+        log = [
+            FrameLogEntry(time=0.1, src=1, dest=0, rate_index=3,
+                          kind="clean", delivered=True, retry=0),
+            FrameLogEntry(time=0.2, src=1, dest=0, rate_index=5,
+                          kind="clean", delivered=False, retry=0),
+            FrameLogEntry(time=0.3, src=1, dest=0, rate_index=1,
+                          kind="clean", delivered=True, retry=0),
+            FrameLogEntry(time=0.4, src=1, dest=0, rate_index=3,
+                          kind="clean", delivered=True, retry=0),
+        ]
+        acc = rate_selection_accuracy(log, trace)
+        assert acc.accurate == pytest.approx(0.5)
+        assert acc.overselect == pytest.approx(0.25)
+        assert acc.underselect == pytest.approx(0.25)
+        assert acc.n_frames == 4
+
+    def test_blackout_frames_skipped(self):
+        trace = constant_trace(best_rate=3, duration=1.0)
+        trace.delivered[:, :] = False
+        log = [FrameLogEntry(time=0.1, src=1, dest=0, rate_index=3,
+                             kind="clean", delivered=False, retry=0)]
+        acc = rate_selection_accuracy(log, trace)
+        assert acc.n_frames == 0
+
+
+class TestRunLengths:
+    def test_basic(self):
+        events = [True, True, False, True, False, True, True, True]
+        assert run_lengths(events) == [2, 1, 3]
+
+    def test_trailing_run_counted(self):
+        assert run_lengths([False, True]) == [1]
+
+    def test_empty(self):
+        assert run_lengths([]) == []
+
+    def test_ccdf(self):
+        points = ccdf([1, 1, 2, 3])
+        assert points[0] == (1, 1.0)
+        assert points[1] == (2, 0.5)
+        assert points[2] == (3, 0.25)
+
+    def test_ccdf_empty(self):
+        assert ccdf([]) == []
+
+
+class TestFormatTable:
+    def test_aligned_output(self):
+        table = format_table(["name", "value"],
+                             [["a", 1.0], ["long-name", 123456.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(lines[1]) + 2 for line in lines)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[1.5e-7]])
+        assert "1.50e-07" in table

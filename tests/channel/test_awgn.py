@@ -1,0 +1,56 @@
+"""Tests for AWGN and the per-symbol channel application."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import apply_channel, awgn, noise_var_for_snr_db
+
+
+class TestAwgn:
+    def test_power_matches_variance(self):
+        rng = np.random.default_rng(0)
+        noise = awgn(100_000, 0.3, rng)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(0.3, rel=0.03)
+
+    def test_circular_symmetry(self):
+        rng = np.random.default_rng(1)
+        noise = awgn(100_000, 1.0, rng)
+        assert np.mean(noise.real ** 2) == pytest.approx(0.5, rel=0.05)
+        assert np.mean(noise.imag ** 2) == pytest.approx(0.5, rel=0.05)
+        assert abs(np.mean(noise.real * noise.imag)) < 0.01
+
+    def test_noise_var_for_snr(self):
+        assert noise_var_for_snr_db(10.0) == pytest.approx(0.1)
+        assert noise_var_for_snr_db(0.0) == pytest.approx(1.0)
+
+
+class TestApplyChannel:
+    def test_gains_applied_per_symbol(self):
+        rng = np.random.default_rng(2)
+        tx = np.ones((3, 4), dtype=complex)
+        gains = np.array([1.0, 0.5, 2.0], dtype=complex)
+        rx, out_gains = apply_channel(tx, gains, 1e-12, rng)
+        assert np.allclose(rx[0], 1.0)
+        assert np.allclose(rx[1], 0.5)
+        assert np.allclose(rx[2], 2.0)
+        assert np.array_equal(out_gains, gains)
+
+    def test_interference_added(self):
+        rng = np.random.default_rng(3)
+        tx = np.zeros((2, 4), dtype=complex)
+        intf = np.ones((2, 4), dtype=complex)
+        rx, _ = apply_channel(tx, np.ones(2), 1e-12, rng,
+                              interference=intf)
+        assert np.allclose(rx, 1.0, atol=1e-4)
+
+    def test_gain_shape_checked(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            apply_channel(np.zeros((3, 4), dtype=complex), np.ones(2),
+                          0.1, rng)
+
+    def test_interference_shape_checked(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            apply_channel(np.zeros((3, 4), dtype=complex), np.ones(3),
+                          0.1, rng, interference=np.zeros((2, 4)))

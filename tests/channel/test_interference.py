@@ -1,0 +1,74 @@
+"""Tests for the interference overlay."""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import (interference_for_frame,
+                                        overlay_interference)
+
+
+class TestInterferenceForFrame:
+    def test_power_in_range(self):
+        rng = np.random.default_rng(0)
+        intf = interference_for_frame(100, 128, 20, 80, 0.5, rng)
+        hit = intf[20:80]
+        assert np.mean(np.abs(hit) ** 2) == pytest.approx(0.5, rel=0.1)
+
+    def test_zero_outside_range(self):
+        rng = np.random.default_rng(1)
+        intf = interference_for_frame(50, 64, 10, 30, 1.0, rng)
+        assert not intf[:10].any()
+        assert not intf[30:].any()
+
+    def test_empty_span_allowed(self):
+        rng = np.random.default_rng(2)
+        intf = interference_for_frame(10, 8, 5, 5, 1.0, rng)
+        assert not intf.any()
+
+    def test_bad_range_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            interference_for_frame(10, 8, 5, 12, 1.0, rng)
+        with pytest.raises(ValueError):
+            interference_for_frame(10, 8, -1, 5, 1.0, rng)
+        with pytest.raises(ValueError):
+            interference_for_frame(10, 8, 2, 5, -1.0, rng)
+
+
+class TestOverlay:
+    def test_tail_alignment(self):
+        rng = np.random.default_rng(4)
+        _, (start, end) = overlay_interference(20, 64, 0.0, rng,
+                                               overlap_fraction=0.25,
+                                               align="tail")
+        assert end == 20
+        assert start == 15
+
+    def test_head_alignment(self):
+        rng = np.random.default_rng(5)
+        _, (start, end) = overlay_interference(20, 64, 0.0, rng,
+                                               overlap_fraction=0.5,
+                                               align="head")
+        assert start == 0 and end == 10
+
+    def test_random_alignment_in_bounds(self):
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            _, (start, end) = overlay_interference(
+                20, 64, 0.0, rng, overlap_fraction=0.3, align="random")
+            assert 0 <= start < end <= 20
+
+    def test_relative_power_db(self):
+        rng = np.random.default_rng(7)
+        intf, (start, end) = overlay_interference(
+            40, 128, -10.0, rng, overlap_fraction=1.0, align="head",
+            signal_power=2.0)
+        measured = np.mean(np.abs(intf[start:end]) ** 2)
+        assert measured == pytest.approx(0.2, rel=0.1)
+
+    def test_validation(self):
+        rng = np.random.default_rng(8)
+        with pytest.raises(ValueError):
+            overlay_interference(10, 8, 0.0, rng, overlap_fraction=0.0)
+        with pytest.raises(ValueError):
+            overlay_interference(10, 8, 0.0, rng, align="sideways")

@@ -1,0 +1,34 @@
+"""Tests for the log-distance path loss model."""
+
+import pytest
+
+from repro.channel.pathloss import LogDistancePathLoss
+
+
+class TestLogDistance:
+    def test_reference_point(self):
+        model = LogDistancePathLoss(exponent=3.0, reference_loss_db=40.0)
+        assert model.loss_db(1.0) == pytest.approx(40.0)
+
+    def test_slope(self):
+        model = LogDistancePathLoss(exponent=3.0, reference_loss_db=40.0)
+        assert model.loss_db(10.0) - model.loss_db(1.0) == pytest.approx(30.0)
+        assert model.loss_db(100.0) - model.loss_db(10.0) == \
+            pytest.approx(30.0)
+
+    def test_monotone_in_distance(self):
+        model = LogDistancePathLoss()
+        losses = [model.loss_db(d) for d in (1, 2, 5, 10, 20)]
+        assert losses == sorted(losses)
+
+    def test_mean_snr(self):
+        model = LogDistancePathLoss(exponent=2.0, reference_loss_db=40.0)
+        snr = model.mean_snr_db(tx_power_dbm=10.0, noise_floor_dbm=-85.0,
+                                distance=10.0)
+        assert snr == pytest.approx(10.0 - 60.0 + 85.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=0.0)
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(reference_distance=0.0)

@@ -1,0 +1,52 @@
+"""Tests for the BER feedback frame and its 32-bit wire encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.feedback import Feedback, decode_ber, encode_ber
+
+
+class TestBerEncoding:
+    def test_zero(self):
+        assert decode_ber(encode_ber(0.0)) == 0.0
+
+    def test_one_half(self):
+        assert decode_ber(encode_ber(0.5)) == pytest.approx(0.5, rel=1e-6)
+
+    def test_quantisation_error_small(self):
+        for ber in (1e-9, 3e-7, 1e-5, 2e-3, 0.1):
+            assert decode_ber(encode_ber(ber)) == pytest.approx(ber,
+                                                                rel=1e-5)
+
+    def test_below_floor_collapses_to_zero(self):
+        assert decode_ber(encode_ber(1e-14)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            encode_ber(1.5)
+        with pytest.raises(ValueError):
+            decode_ber(-1)
+        with pytest.raises(ValueError):
+            decode_ber(2 ** 32)
+
+    @given(st.floats(min_value=1e-11, max_value=1.0))
+    def test_roundtrip_property(self, ber):
+        # Values within one quantisation step of the 1e-12 floor may
+        # round to 0; everything above 1e-11 must round-trip.
+        assert decode_ber(encode_ber(ber)) == pytest.approx(ber, rel=1e-4)
+
+
+class TestFeedbackFrame:
+    def test_quantised_preserves_metadata(self):
+        fb = Feedback(src=1, dest=0, seq=42, ber=3.3e-5, frame_ok=True,
+                      interference_detected=True, snr_db=12.5)
+        q = fb.quantised()
+        assert (q.src, q.dest, q.seq) == (1, 0, 42)
+        assert q.frame_ok and q.interference_detected
+        assert q.snr_db == 12.5
+        assert q.ber == pytest.approx(3.3e-5, rel=1e-5)
+
+    def test_defaults(self):
+        fb = Feedback(src=0, dest=1, seq=0, ber=0.0, frame_ok=False)
+        assert not fb.interference_detected
+        assert not fb.postamble_only

@@ -1,0 +1,116 @@
+"""Tests for the SoftPHY interference detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.interference import InterferenceDetector
+
+
+def _profile_to_hints(profile, bits_per_symbol=50):
+    """Build synthetic hints whose per-symbol BER equals `profile`."""
+    hints = []
+    for p in profile:
+        p = min(max(p, 1e-12), 0.5)
+        s = np.log((1 - p) / p)
+        hints.extend([s] * bits_per_symbol)
+    info_symbol = np.repeat(np.arange(len(profile)), bits_per_symbol)
+    return np.array(hints), info_symbol
+
+
+@pytest.fixture()
+def detector():
+    return InterferenceDetector()
+
+
+class TestJumpDetection:
+    def test_detects_tail_collision(self, detector):
+        profile = [1e-5] * 6 + [0.2] * 4
+        report = detector.analyze_profile(np.array(profile))
+        assert report.detected
+        # One guard symbol before the jump is excised along with the
+        # collided tail (decoder memory crosses the boundary).
+        assert report.clean_mask[:5].all()
+        assert not report.clean_mask[5:].any()
+        assert report.ber_clean == pytest.approx(1e-5)
+        assert report.ber_full > 0.05
+
+    def test_detects_mid_frame_collision(self, detector):
+        profile = [1e-6] * 4 + [0.3] * 3 + [1e-6] * 4
+        report = detector.analyze_profile(np.array(profile))
+        assert report.detected
+        assert report.clean_mask[:3].all()
+        assert report.clean_mask[8:].all()
+        assert not report.clean_mask[3:8].any()
+
+    def test_clean_frame_not_flagged(self, detector):
+        profile = np.full(10, 1e-4)
+        report = detector.analyze_profile(profile)
+        assert not report.detected
+        assert report.clean_mask.all()
+        assert report.ber_clean == report.ber_full
+
+    def test_gradual_fade_not_flagged(self, detector):
+        # A fade degrades BER gradually across symbols: below the jump
+        # threshold at each step, so it must not be called a collision.
+        profile = np.logspace(-6, -2.2, 12)
+        report = detector.analyze_profile(profile)
+        assert not report.detected
+
+    def test_uniformly_bad_frame_not_flagged(self, detector):
+        # A frame that is bad everywhere (deep fade for its entire
+        # duration) has no jump and must be attributed to the channel.
+        profile = np.full(8, 0.2)
+        report = detector.analyze_profile(profile)
+        assert not report.detected
+        assert report.ber_clean == pytest.approx(0.2)
+
+    def test_whole_frame_collision_after_first_symbol(self, detector):
+        # Jump right after symbol 0: everything after is bad; the
+        # pre-jump prefix is kept as the clean portion.
+        profile = np.array([1e-6] + [0.25] * 9)
+        report = detector.analyze_profile(profile)
+        assert report.detected
+        assert report.clean_mask[0]
+        assert report.ber_clean == pytest.approx(1e-6)
+
+
+class TestBitLevelExcision:
+    def test_clean_ber_recomputed_over_bits(self, detector):
+        hints, info_symbol = _profile_to_hints([1e-5] * 5 + [0.3] * 5)
+        report = detector.analyze(hints, info_symbol, 10)
+        assert report.detected
+        assert report.ber_clean == pytest.approx(1e-5, rel=0.01)
+
+    def test_clean_fraction(self, detector):
+        hints, info_symbol = _profile_to_hints([1e-5] * 8 + [0.3] * 2)
+        report = detector.analyze(hints, info_symbol, 10)
+        # 2 collided symbols + 1 guard symbol excised out of 10.
+        assert report.clean_fraction == pytest.approx(0.7)
+
+
+class TestConfiguration:
+    def test_threshold_controls_sensitivity(self):
+        # A 0.7-decade step: below the default 1-decade threshold but
+        # above a tightened one.
+        profile = np.array([1e-4] * 5 + [5e-3] * 5)
+        loose = InterferenceDetector(jump_decades=1.0)
+        tight = InterferenceDetector(jump_decades=0.3)
+        assert not loose.analyze_profile(profile).detected
+        assert tight.analyze_profile(profile).detected
+
+    def test_floor_hides_subthreshold_noise(self):
+        # Wild estimation noise below the sensitivity floor must never
+        # register as a jump: 1e-30 vs 1e-8 are both "clean".
+        profile = np.array([1e-30, 1e-8, 1e-25, 1e-12, 1e-30])
+        report = InterferenceDetector().analyze_profile(profile)
+        assert not report.detected
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceDetector(jump_decades=0.0)
+        with pytest.raises(ValueError):
+            InterferenceDetector(profile_floor=0.6)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceDetector().analyze_profile(np.array([]))

@@ -1,0 +1,137 @@
+"""Property-based tests across the core SoftRate machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hints import error_probabilities, frame_ber_estimate
+from repro.core.interference import InterferenceDetector
+from repro.core.prediction import predict_ber
+from repro.core.thresholds import (FrameLevelArq, PartialBitArq,
+                                   compute_thresholds)
+from repro.phy.rates import RATE_TABLE
+
+RATES = RATE_TABLE.prototype_subset()
+
+
+class TestThresholdProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=500, max_value=20000))
+    def test_alpha_beta_ordered_for_any_frame_size(self, frame_bits):
+        table = compute_thresholds(RATES, FrameLevelArq(frame_bits))
+        for i in range(len(RATES)):
+            assert table[i].alpha < table[i].beta
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=500, max_value=20000))
+    def test_bigger_frames_need_lower_ber(self, frame_bits):
+        small = compute_thresholds(RATES, FrameLevelArq(frame_bits))
+        large = compute_thresholds(RATES,
+                                   FrameLevelArq(frame_bits * 4))
+        # A frame 4x larger is 4x more fragile: the step-down point
+        # must not move up.
+        for i in range(1, len(RATES)):
+            assert large[i].beta <= small[i].beta * 1.5
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=1e-9, max_value=0.4),
+           st.integers(min_value=0, max_value=5))
+    def test_best_rate_always_in_table(self, ber, current):
+        table = compute_thresholds(RATES, FrameLevelArq(10000))
+        best = table.best_rate(current, ber)
+        assert 0 <= best < len(RATES)
+        assert abs(best - current) <= 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=1e-9, max_value=0.4),
+           st.integers(min_value=0, max_value=5),
+           st.integers(min_value=1, max_value=3))
+    def test_best_rate_respects_jump_limit(self, ber, current, jump):
+        table = compute_thresholds(RATES, FrameLevelArq(10000))
+        best = table.best_rate(current, ber, max_jump=jump)
+        assert abs(best - current) <= jump
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=10.0, max_value=2000.0))
+    def test_harq_cost_monotone(self, cost):
+        cheap = PartialBitArq(cost)
+        pricey = PartialBitArq(cost * 3)
+        for ber in (1e-5, 1e-3, 1e-2):
+            assert cheap.throughput(RATES[3], ber) >= \
+                pricey.throughput(RATES[3], ber)
+
+
+class TestDetectorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-12, max_value=0.5),
+                    min_size=2, max_size=40))
+    def test_report_invariants(self, profile):
+        report = InterferenceDetector().analyze_profile(
+            np.array(profile))
+        assert report.clean_mask.shape == (len(profile),)
+        assert report.clean_mask.any()
+        assert 0.0 <= report.ber_clean <= 0.5 + 1e-12
+        assert 0.0 <= report.ber_full <= 0.5 + 1e-12
+        if not report.detected:
+            assert report.ber_clean == report.ber_full
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1e-12, max_value=0.5),
+           st.integers(min_value=2, max_value=30))
+    def test_constant_profile_never_detected(self, level, n):
+        profile = np.full(n, level)
+        report = InterferenceDetector().analyze_profile(profile)
+        assert not report.detected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    def test_excised_ber_not_above_full(self, clean_len, bad_len):
+        profile = np.array([1e-6] * clean_len + [0.4] * bad_len)
+        report = InterferenceDetector().analyze_profile(profile)
+        assert report.ber_clean <= report.ber_full + 1e-12
+
+
+class TestHintProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=80.0),
+                    min_size=1, max_size=200))
+    def test_frame_ber_bounded_by_extremes(self, hints):
+        hints = np.array(hints)
+        p = error_probabilities(hints)
+        estimate = frame_ber_estimate(hints)
+        assert p.min() - 1e-12 <= estimate <= p.max() + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=80.0),
+                    min_size=1, max_size=100),
+           st.floats(min_value=0.1, max_value=5.0))
+    def test_weaker_hints_higher_ber(self, hints, shrink):
+        hints = np.array(hints)
+        weaker = hints / (1.0 + shrink)
+        assert frame_ber_estimate(weaker) >= \
+            frame_ber_estimate(hints) - 1e-15
+
+
+class TestPredictionThresholdConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=1e-9, max_value=1e-2),
+           st.integers(min_value=1, max_value=4))
+    def test_classify_agrees_with_best_rate_direction(self, ber, i):
+        table = compute_thresholds(RATES, FrameLevelArq(10000))
+        direction = table[i].classify(ber)
+        best = table.best_rate(i, ber, max_jump=2)
+        if direction == 0:
+            assert best == i
+        elif direction > 0:
+            assert best >= i
+        else:
+            assert best <= i
+
+    @given(st.floats(min_value=1e-10, max_value=1e-3))
+    def test_prediction_chain_consistent(self, ber):
+        # Predicting 0->2 equals predicting 0->1 then 1->2 (modulo
+        # clipping at the extremes).
+        direct = predict_ber(ber, 0, 2)
+        chained = predict_ber(predict_ber(ber, 0, 1), 1, 2)
+        assert direct == pytest.approx(chained, rel=1e-9)

@@ -1,0 +1,84 @@
+"""Smoke tests for the experiment modules (small configurations).
+
+The full-scale shape assertions live in ``benchmarks/``; these tests
+verify the experiment plumbing itself — structure, invariants, and
+basic sanity at reduced scale — so `pytest tests/` covers every module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (CALIBRATED_SEPARATION,
+                                      averaged_tcp_throughput,
+                                      rraa_factory, samplerate_factory,
+                                      snr_untrained_factory,
+                                      softrate_factory,
+                                      standard_algorithms)
+from repro.experiments.fig01_channel import run_fig1
+from repro.experiments.fig05_crossrate import run_fig5
+from repro.experiments.fig15_convergence import run_fig15
+from repro.experiments.tab01_silent import run_silent_loss_experiment
+from repro.rateadapt import SoftRate
+from repro.traces.synthetic import constant_trace
+
+
+class TestFig1:
+    def test_panels_shapes(self):
+        data = run_fig1(seed=1)
+        assert data.window_times.shape == data.window_snr_db.shape
+        assert data.detail_times.shape == data.detail_snr_db.shape
+        assert data.ber.shape == data.ber_times.shape
+        assert data.fade_depth_db() > 0
+
+
+class TestFig5:
+    def test_pairs_structure(self):
+        data = run_fig5(seed=5, duration=2.0)
+        assert set(data.pairs) == set(range(6))
+        assert 0.0 <= data.monotone_fraction() <= 1.0
+
+
+class TestTab01:
+    def test_small_run(self):
+        result = run_silent_loss_experiment(duration=1.0)
+        assert set(result.silent_fraction) == {1, 2}
+        for fraction in result.silent_fraction.values():
+            assert 0.0 <= fraction <= 1.0
+        assert all(n > 10 for n in result.frames_sent.values())
+
+
+class TestFig15:
+    def test_softrate_converges_fast(self):
+        result = run_fig15(lambda rates, trace: SoftRate(rates),
+                           duration=4.0)
+        times = result.convergence_times()
+        assert times["to_bad"] and times["to_good"]
+        assert np.median(times["to_bad"]) < 0.01
+
+
+class TestCommonFactories:
+    def test_factories_build(self):
+        from repro.phy.rates import RATE_TABLE
+        rates = RATE_TABLE.prototype_subset()
+        trace = constant_trace(best_rate=3, duration=1.0)
+        for factory in (softrate_factory, rraa_factory,
+                        samplerate_factory, snr_untrained_factory()):
+            adapter = factory(rates, trace)
+            assert 0 <= adapter.choose_rate(0.0) < len(rates)
+
+    def test_standard_algorithms_cover_fig13(self):
+        trace = constant_trace(best_rate=3, duration=1.0)
+        names = [name for name, _f in standard_algorithms(trace)]
+        assert names == ["Omniscient", "SoftRate", "SNR (trained)",
+                         "CHARM", "RRAA", "SampleRate"]
+
+    def test_calibrated_separation_documented(self):
+        assert CALIBRATED_SEPARATION >= 100.0
+
+    def test_averaged_throughput_runs(self):
+        traces = [constant_trace(best_rate=3, duration=1.0)]
+        outcome = averaged_tcp_throughput(
+            traces, traces, softrate_factory, n_clients=1,
+            duration=0.5, seeds=(1,))
+        assert outcome["mbps"] > 0
+        assert len(outcome["per_seed"]) == 1

@@ -1,0 +1,120 @@
+"""Unit and property tests for repro.phy.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy import bits as bitutil
+
+
+class TestByteConversion:
+    def test_roundtrip(self):
+        data = b"\x00\xff\x5a\x01"
+        assert bitutil.bits_to_bytes(bitutil.bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        bits = bitutil.bytes_to_bits(b"\x80")
+        assert list(bits) == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_empty(self):
+        assert bitutil.bytes_to_bits(b"").size == 0
+
+    def test_non_byte_aligned_rejected(self):
+        with pytest.raises(ValueError):
+            bitutil.bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_property(self, data):
+        assert bitutil.bits_to_bytes(bitutil.bytes_to_bits(data)) == data
+
+
+class TestIntConversion:
+    def test_roundtrip(self):
+        bits = bitutil.int_to_bits(0xABC, 12)
+        assert bitutil.bits_to_int(bits) == 0xABC
+
+    def test_width_enforced(self):
+        with pytest.raises(ValueError):
+            bitutil.int_to_bits(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitutil.int_to_bits(-1, 4)
+
+    def test_msb_first(self):
+        assert list(bitutil.int_to_bits(0b100, 3)) == [1, 0, 0]
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_roundtrip_property(self, value):
+        assert bitutil.bits_to_int(bitutil.int_to_bits(value, 20)) == value
+
+
+class TestCrc32:
+    def test_detects_single_bit_flip(self):
+        rng = np.random.default_rng(0)
+        payload = bitutil.random_bits(64, rng)
+        framed = bitutil.append_crc32(payload)
+        assert bitutil.check_crc32(framed)
+        for pos in range(framed.size):
+            corrupted = framed.copy()
+            corrupted[pos] ^= 1
+            assert not bitutil.check_crc32(corrupted)
+
+    def test_rejects_short_input(self):
+        assert not bitutil.check_crc32(np.ones(16, dtype=np.uint8))
+
+    @given(st.binary(min_size=1, max_size=32))
+    def test_append_check_property(self, data):
+        payload = bitutil.bytes_to_bits(data)
+        assert bitutil.check_crc32(bitutil.append_crc32(payload))
+
+
+class TestCrc16:
+    def test_differs_on_bit_flip(self):
+        rng = np.random.default_rng(1)
+        bits = bitutil.random_bits(48, rng)
+        base = bitutil.crc16(bits)
+        for pos in range(bits.size):
+            corrupted = bits.copy()
+            corrupted[pos] ^= 1
+            assert bitutil.crc16(corrupted) != base
+
+    def test_accepts_unaligned_length(self):
+        # The link header's fields are 48 bits, not byte-aligned at
+        # every boundary; CRC-16 must handle arbitrary bit counts.
+        assert isinstance(bitutil.crc16(np.ones(13, dtype=np.uint8)), int)
+
+
+class TestScrambler:
+    def test_involution(self):
+        rng = np.random.default_rng(2)
+        bits = bitutil.random_bits(500, rng)
+        assert np.array_equal(
+            bitutil.descramble(bitutil.scramble(bits)), bits)
+
+    def test_whitens_constant_input(self):
+        zeros = np.zeros(254, dtype=np.uint8)
+        scrambled = bitutil.scramble(zeros)
+        ones_fraction = scrambled.mean()
+        assert 0.3 < ones_fraction < 0.7
+
+    def test_seed_changes_sequence(self):
+        bits = np.zeros(127, dtype=np.uint8)
+        assert not np.array_equal(bitutil.scramble(bits, seed=0x5D),
+                                  bitutil.scramble(bits, seed=0x11))
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            bitutil.scramble(np.zeros(8, dtype=np.uint8), seed=0)
+
+
+class TestHammingDistance:
+    def test_counts_differences(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert bitutil.hamming_distance(a, b) == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bitutil.hamming_distance(np.zeros(3, dtype=np.uint8),
+                                     np.zeros(4, dtype=np.uint8))

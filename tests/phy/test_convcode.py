@@ -1,0 +1,114 @@
+"""Unit and property tests for the convolutional code and puncturing."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy import bits as bitutil
+from repro.phy.convcode import (ConvolutionalCode, PUNCTURE_PATTERNS,
+                                depuncture, n_coded_bits, puncture)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return ConvolutionalCode()
+
+
+class TestEncoder:
+    def test_output_length(self, code):
+        info = np.zeros(100, dtype=np.uint8)
+        assert code.encode(info).size == 2 * (100 + code.n_tail_bits)
+
+    def test_all_zero_input_gives_all_zero_output(self, code):
+        coded = code.encode(np.zeros(50, dtype=np.uint8))
+        assert not coded.any()
+
+    def test_linearity(self, code):
+        # A convolutional code is linear: enc(a ^ b) == enc(a) ^ enc(b).
+        rng = np.random.default_rng(0)
+        a = bitutil.random_bits(64, rng)
+        b = bitutil.random_bits(64, rng)
+        assert np.array_equal(code.encode(a ^ b),
+                              code.encode(a) ^ code.encode(b))
+
+    def test_known_impulse_response(self, code):
+        # A single 1 produces the generator polynomials' coefficients.
+        impulse = np.zeros(10, dtype=np.uint8)
+        impulse[0] = 1
+        coded = code.encode(impulse)
+        # g0 = 133 octal = 1011011, g1 = 171 octal = 1111001 — the
+        # encoder shifts the newest bit in at the MSB side, so the
+        # impulse response reads the polynomial bits LSB-first.
+        g0_taps = [(0o133 >> i) & 1 for i in range(7)][::-1]
+        g1_taps = [(0o171 >> i) & 1 for i in range(7)][::-1]
+        assert list(coded[0:14:2]) == g0_taps
+        assert list(coded[1:14:2]) == g1_taps
+
+    def test_trellis_is_two_regular(self, code):
+        t = code.trellis
+        assert t.n_states == 64
+        # every state has exactly two successors and two predecessors
+        assert np.all(np.sort(t.next_state.ravel())
+                      == np.repeat(np.arange(64), 2))
+        assert np.all(np.sort(t.prev_state.ravel())
+                      == np.repeat(np.arange(64), 2))
+
+    def test_short_constraint_length(self):
+        small = ConvolutionalCode(constraint_length=3, generators=(0o5, 0o7))
+        assert small.trellis.n_states == 4
+        assert small.encode(np.zeros(4, dtype=np.uint8)).size == 2 * 6
+
+
+class TestPuncturing:
+    @pytest.mark.parametrize("rate", list(PUNCTURE_PATTERNS))
+    def test_length_matches_rate(self, rate):
+        # Puncturing a long stream approaches the nominal code rate.
+        n = 1200
+        stream = np.zeros(2 * n, dtype=np.uint8)
+        kept = puncture(stream, rate).size
+        assert kept == n_coded_bits(n, rate)
+        assert abs(kept / n - 1 / rate) < 0.01
+
+    @pytest.mark.parametrize("rate", list(PUNCTURE_PATTERNS))
+    def test_depuncture_restores_positions(self, rate):
+        rng = np.random.default_rng(3)
+        n = 96
+        mother = rng.normal(size=2 * n)
+        survived = puncture(mother, rate)
+        restored = depuncture(survived, 2 * n, rate, fill=0.0)
+        pattern = PUNCTURE_PATTERNS[rate]
+        mask = np.tile(pattern, -(-2 * n // pattern.size))[: 2 * n]
+        assert np.array_equal(restored[mask], mother[mask])
+        assert not restored[~mask].any()
+
+    def test_depuncture_length_check(self):
+        with pytest.raises(ValueError):
+            depuncture(np.zeros(10), 100, Fraction(3, 4))
+
+    def test_every_bit_pair_keeps_one_survivor(self):
+        # The per-info-bit symbol mapping relies on at least one of the
+        # two mother bits of every trellis step surviving puncturing.
+        for rate, pattern in PUNCTURE_PATTERNS.items():
+            reps = np.tile(pattern, 6)
+            pairs = reps.reshape(-1, 2)
+            assert pairs.any(axis=1).all(), rate
+
+
+class TestCodedLength:
+    def test_rate_half(self, code):
+        assert code.coded_length(100) == 2 * (100 + 6)
+
+    def test_rate_three_quarters(self, code):
+        n = code.coded_length(120, Fraction(3, 4))
+        assert abs(n - (120 + 6) * 4 / 3) <= 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=200))
+def test_encode_deterministic(n_bits):
+    code = ConvolutionalCode()
+    rng = np.random.default_rng(n_bits)
+    info = bitutil.random_bits(n_bits, rng)
+    assert np.array_equal(code.encode(info), code.encode(info))

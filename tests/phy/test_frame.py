@@ -1,0 +1,69 @@
+"""Tests for the link-layer frame header."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.frame import (FLAG_FEEDBACK, FLAG_HAS_POSTAMBLE, HEADER_BITS,
+                             LinkHeader)
+
+
+def _header(**overrides):
+    fields = dict(dest=5, src=2, seq=100, rate_index=3, length_bytes=1400,
+                  flags=0)
+    fields.update(overrides)
+    return LinkHeader(**fields)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        header = _header(flags=FLAG_HAS_POSTAMBLE)
+        parsed, crc_ok = LinkHeader.from_bits(header.to_bits())
+        assert crc_ok
+        assert parsed == header
+
+    def test_bit_width(self):
+        assert _header().to_bits().size == HEADER_BITS
+
+    def test_crc_detects_corruption(self):
+        bits = _header().to_bits()
+        for pos in range(bits.size):
+            corrupted = bits.copy()
+            corrupted[pos] ^= 1
+            _, crc_ok = LinkHeader.from_bits(corrupted)
+            assert not crc_ok
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            LinkHeader.from_bits(np.zeros(32, dtype=np.uint8))
+
+
+class TestFieldValidation:
+    @pytest.mark.parametrize("field,bad", [
+        ("dest", 256), ("src", -1), ("seq", 4096), ("rate_index", 16),
+        ("length_bytes", 4096), ("flags", 16),
+    ])
+    def test_out_of_range_rejected(self, field, bad):
+        with pytest.raises(ValueError):
+            _header(**{field: bad})
+
+
+class TestFlags:
+    def test_postamble_flag(self):
+        assert _header(flags=FLAG_HAS_POSTAMBLE).has_postamble
+        assert not _header().has_postamble
+
+    def test_feedback_flag(self):
+        assert _header(flags=FLAG_FEEDBACK).is_feedback
+        assert not _header(flags=FLAG_HAS_POSTAMBLE).is_feedback
+
+
+@settings(max_examples=50, deadline=None)
+@given(dest=st.integers(0, 255), src=st.integers(0, 255),
+       seq=st.integers(0, 4095), rate_index=st.integers(0, 15),
+       length_bytes=st.integers(0, 4095), flags=st.integers(0, 15))
+def test_roundtrip_property(dest, src, seq, rate_index, length_bytes, flags):
+    header = LinkHeader(dest=dest, src=src, seq=seq, rate_index=rate_index,
+                        length_bytes=length_bytes, flags=flags)
+    parsed, crc_ok = LinkHeader.from_bits(header.to_bits())
+    assert crc_ok and parsed == header

@@ -1,0 +1,71 @@
+"""Tests for the per-symbol frequency interleaver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.interleaver import (deinterleave, interleave,
+                                   interleaver_permutation)
+
+
+class TestPermutation:
+    @pytest.mark.parametrize("block,bps", [(128, 1), (128, 2), (256, 4),
+                                           (512, 2), (768, 6)])
+    def test_is_a_permutation(self, block, bps):
+        perm = interleaver_permutation(block, bps)
+        assert sorted(perm) == list(range(block))
+
+    def test_spreads_adjacent_bits(self):
+        # Adjacent coded bits must land on distant positions: the whole
+        # point of interleaving is that a burst (frequency notch) does
+        # not wipe consecutive coded bits.
+        perm = interleaver_permutation(256, 2)
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(perm.size)
+        gaps = np.abs(np.diff(inverse))
+        assert np.median(gaps) >= 8
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            interleaver_permutation(100, 2)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("block,bps", [(128, 1), (256, 2), (512, 4)])
+    def test_roundtrip(self, block, bps):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=3 * block)
+        out = deinterleave(interleave(data, block, bps), block, bps)
+        assert np.array_equal(out, data)
+
+    def test_blocks_are_independent(self):
+        # Interleaving must not move bits across OFDM symbol boundaries
+        # (interference detection depends on per-symbol locality).
+        block = 128
+        data = np.concatenate([np.zeros(block), np.ones(block)])
+        mixed = interleave(data, block, 2)
+        assert not mixed[:block].any()
+        assert mixed[block:].all()
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros(100), 128, 2)
+        with pytest.raises(ValueError):
+            deinterleave(np.zeros(100), 128, 2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from([1, 2, 4, 6]), st.sampled_from([64, 128, 256]),
+       st.integers(1, 4), st.integers(0, 2**32 - 1))
+def test_roundtrip_property(bps, n_subcarriers, n_blocks, seed):
+    block = bps * n_subcarriers    # real layouts: block = bps * tones
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, size=n_blocks * block).astype(np.uint8)
+    out = deinterleave(interleave(data, block, bps), block, bps)
+    assert np.array_equal(out, data)
+
+
+def test_inconsistent_block_rejected():
+    # A 128-bit block cannot be a 6-bit/symbol OFDM symbol.
+    with pytest.raises(ValueError):
+        interleaver_permutation(128, 6)

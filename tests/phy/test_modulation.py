@@ -1,0 +1,142 @@
+"""Tests for constellation mapping and soft demapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy import bits as bitutil
+from repro.phy.modulation import (CONSTELLATIONS, hard_demap, modulate,
+                                  soft_demap)
+
+ALL_MODS = list(CONSTELLATIONS)
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("name", ALL_MODS)
+    def test_unit_average_energy(self, name):
+        points = CONSTELLATIONS[name].points
+        assert np.isclose(np.mean(np.abs(points) ** 2), 1.0)
+
+    @pytest.mark.parametrize("name", ALL_MODS)
+    def test_point_count(self, name):
+        const = CONSTELLATIONS[name]
+        assert const.points.size == 2 ** const.bits_per_symbol
+
+    @pytest.mark.parametrize("name,expected", [
+        ("BPSK", 2.0), ("QPSK", np.sqrt(2)), ("QAM16", 2 / np.sqrt(10)),
+        ("QAM64", 2 / np.sqrt(42)),
+    ])
+    def test_min_distance(self, name, expected):
+        assert np.isclose(CONSTELLATIONS[name].min_distance, expected)
+
+    @pytest.mark.parametrize("name", ["QPSK", "QAM16", "QAM64"])
+    def test_gray_property(self, name):
+        # Nearest neighbours in the constellation differ in exactly one
+        # bit (Gray mapping) — this is what makes per-bit LLRs behave.
+        const = CONSTELLATIONS[name]
+        pts = const.points
+        d_min = const.min_distance
+        for i in range(pts.size):
+            for j in range(pts.size):
+                if i != j and np.abs(pts[i] - pts[j]) < d_min * 1.01:
+                    diff = np.sum(const.bit_table[i] != const.bit_table[j])
+                    assert diff == 1
+
+
+class TestModulate:
+    @pytest.mark.parametrize("name", ALL_MODS)
+    def test_roundtrip_hard(self, name):
+        const = CONSTELLATIONS[name]
+        rng = np.random.default_rng(0)
+        bits = bitutil.random_bits(const.bits_per_symbol * 40, rng)
+        symbols = modulate(bits, name)
+        assert np.array_equal(hard_demap(symbols, name), bits)
+
+    def test_wrong_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            modulate(np.zeros(3, dtype=np.uint8), "QPSK")
+
+    def test_bpsk_is_real(self):
+        bits = np.array([0, 1], dtype=np.uint8)
+        symbols = modulate(bits, "BPSK")
+        assert np.allclose(symbols.imag, 0)
+        assert np.allclose(symbols.real, [-1, 1])
+
+
+class TestSoftDemap:
+    @pytest.mark.parametrize("name", ALL_MODS)
+    def test_signs_recover_bits_at_high_snr(self, name):
+        const = CONSTELLATIONS[name]
+        rng = np.random.default_rng(1)
+        bits = bitutil.random_bits(const.bits_per_symbol * 50, rng)
+        y = modulate(bits, name)
+        llrs = soft_demap(y, name, noise_var=0.01)
+        assert np.array_equal((llrs > 0).astype(np.uint8), bits)
+
+    def test_magnitude_scales_with_noise(self):
+        rng = np.random.default_rng(2)
+        bits = bitutil.random_bits(100, rng)
+        y = modulate(bits, "BPSK")
+        quiet = np.abs(soft_demap(y, "BPSK", noise_var=0.05))
+        loud = np.abs(soft_demap(y, "BPSK", noise_var=0.5))
+        assert quiet.mean() > loud.mean()
+
+    def test_bpsk_llr_formula(self):
+        # For BPSK with gain h and noise variance N0: LLR = 4 Re(h* y)/N0.
+        y = np.array([0.7 + 0.2j])
+        h = np.array([1.0 + 0.5j])
+        n0 = 0.3
+        llr = soft_demap(y, "BPSK", n0, gains=h)
+        expected = 4.0 * np.real(np.conj(h[0]) * y[0]) / n0
+        assert np.isclose(llr[0], expected)
+
+    def test_channel_gain_compensation(self):
+        rng = np.random.default_rng(3)
+        bits = bitutil.random_bits(4 * 64, rng)
+        y = modulate(bits, "QAM16")
+        gains = np.full(y.size, 0.5 * np.exp(1j * 0.7))
+        llrs = soft_demap(y * gains, "QAM16", noise_var=0.001, gains=gains)
+        assert np.array_equal((llrs > 0).astype(np.uint8), bits)
+
+    def test_faded_symbol_gives_weak_llrs(self):
+        # When |h| is small the demapper must report low confidence —
+        # the mechanism by which SoftPHY sees mid-frame fades.
+        rng = np.random.default_rng(4)
+        bits = bitutil.random_bits(2 * 100, rng)
+        x = modulate(bits, "QPSK")
+        strong_gain = np.ones(x.size)
+        weak_gain = np.full(x.size, 0.1)
+        nv = 0.1
+        strong = np.abs(soft_demap(x * strong_gain, "QPSK", nv,
+                                   gains=strong_gain))
+        weak = np.abs(soft_demap(x * weak_gain, "QPSK", nv,
+                                 gains=weak_gain))
+        assert weak.mean() < strong.mean() / 5
+
+    def test_max_log_close_to_exact(self):
+        rng = np.random.default_rng(5)
+        bits = bitutil.random_bits(4 * 200, rng)
+        y = modulate(bits, "QAM16")
+        y = y + (rng.normal(0, 0.1, y.size) + 1j * rng.normal(0, 0.1, y.size))
+        exact = soft_demap(y, "QAM16", 0.02)
+        approx = soft_demap(y, "QAM16", 0.02, max_log=True)
+        agree = np.mean(np.sign(exact) == np.sign(approx))
+        assert agree > 0.99
+
+    def test_bad_noise_var_rejected(self):
+        with pytest.raises(ValueError):
+            soft_demap(np.zeros(2, dtype=complex), "BPSK", 0.0)
+
+    def test_gain_length_checked(self):
+        with pytest.raises(ValueError):
+            soft_demap(np.zeros(4, dtype=complex), "BPSK", 0.1,
+                       gains=np.ones(3))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(ALL_MODS), st.integers(0, 2**32 - 1))
+def test_mod_demod_roundtrip_property(name, seed):
+    const = CONSTELLATIONS[name]
+    rng = np.random.default_rng(seed)
+    bits = bitutil.random_bits(const.bits_per_symbol * 8, rng)
+    assert np.array_equal(hard_demap(modulate(bits, name), name), bits)

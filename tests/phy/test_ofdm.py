@@ -1,0 +1,101 @@
+"""Tests for OFDM frame layout and the info-bit-to-symbol map."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.phy.convcode import ConvolutionalCode
+from repro.phy.ofdm import info_bit_symbol_map, training_symbols
+from repro.phy.transceiver import Transceiver
+
+
+@pytest.fixture(scope="module")
+def phy():
+    return Transceiver()
+
+
+class TestTrainingSymbols:
+    def test_deterministic(self):
+        a = training_symbols(2, 128)
+        b = training_symbols(2, 128)
+        assert np.array_equal(a, b)
+
+    def test_unit_energy(self):
+        t = training_symbols(4, 256)
+        assert np.allclose(np.abs(t), 1.0)
+
+    def test_readonly(self):
+        t = training_symbols(2, 128)
+        with pytest.raises(ValueError):
+            t[0, 0] = 0
+
+
+class TestLayout:
+    def test_regions_tile_the_frame(self, phy):
+        layout = phy.frame_layout(800, 3)
+        regions = [layout.preamble, layout.header, layout.body]
+        total = sum(r.stop - r.start for r in regions)
+        total += layout.n_postamble_symbols
+        assert total == layout.n_symbols
+        assert layout.preamble.stop == layout.header.start
+        assert layout.header.stop == layout.body.start
+
+    def test_postamble_optional(self):
+        phy = Transceiver(use_postamble=False)
+        layout = phy.frame_layout(800, 0)
+        assert layout.postamble is None
+        assert layout.n_postamble_symbols == 0
+
+    def test_body_capacity_fits_coded_bits(self, phy):
+        for rate_index in range(6):
+            layout = phy.frame_layout(1600, rate_index)
+            block = (phy.rates[rate_index].bits_per_symbol
+                     * layout.n_subcarriers)
+            capacity = layout.n_body_symbols * block
+            assert capacity == layout.n_body_coded_bits + layout.body_pad_bits
+            assert 0 <= layout.body_pad_bits < block
+
+    def test_higher_rate_fewer_symbols(self, phy):
+        slow = phy.frame_layout(8000, 0).n_body_symbols
+        fast = phy.frame_layout(8000, 5).n_body_symbols
+        assert fast < slow
+        assert slow == pytest.approx(6 * fast, rel=0.1)
+
+    def test_airtime_positive_and_ordered(self, phy):
+        t_slow = phy.frame_airtime(8000, 0)
+        t_fast = phy.frame_airtime(8000, 5)
+        assert 0 < t_fast < t_slow
+
+    def test_unaligned_payload_rejected(self, phy):
+        with pytest.raises(ValueError):
+            phy.frame_layout(801, 0)
+
+
+class TestInfoBitSymbolMap:
+    @pytest.mark.parametrize("rate", [Fraction(1, 2), Fraction(2, 3),
+                                      Fraction(3, 4)])
+    def test_monotone_and_in_range(self, rate):
+        code = ConvolutionalCode()
+        mapping = info_bit_symbol_map(832, code.n_tail_bits, rate, 256)
+        assert np.all(np.diff(mapping) >= 0)
+        assert mapping.min() == 0
+
+    def test_rate_half_mapping_exact(self):
+        # At rate 1/2 bit k's first coded bit is at position 2k, so the
+        # symbol index is exactly (2k) // block.
+        code = ConvolutionalCode()
+        mapping = info_bit_symbol_map(500, code.n_tail_bits,
+                                      Fraction(1, 2), 128)
+        expected = (2 * np.arange(500)) // 128
+        assert np.array_equal(mapping, expected)
+
+    def test_layout_map_covers_all_body_symbols(self):
+        phy = Transceiver()
+        layout = phy.frame_layout(1600, 3)
+        symbols_used = np.unique(layout.info_symbol)
+        # Every body symbol except possibly the padded tail must carry
+        # at least one information bit.
+        assert symbols_used[0] == 0
+        assert symbols_used[-1] >= layout.n_body_symbols - 2
+        assert layout.info_symbol.max() < layout.n_body_symbols

@@ -1,0 +1,57 @@
+"""Tests for preamble-based SNR estimation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn
+from repro.phy.ofdm import training_symbols
+from repro.phy.snr import (db_to_linear, estimate_preamble_snr, snr_to_db,
+                           true_average_snr_db)
+
+
+class TestDbConversions:
+    def test_roundtrip(self):
+        assert snr_to_db(db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_zero_floored(self):
+        assert snr_to_db(0.0) == pytest.approx(-120.0)
+
+
+class TestPreambleEstimate:
+    @pytest.mark.parametrize("snr_db", [0, 5, 10, 20])
+    def test_accuracy_on_awgn(self, snr_db):
+        rng = np.random.default_rng(snr_db)
+        training = training_symbols(2, 512)
+        noise_var = db_to_linear(-snr_db)
+        estimates = []
+        for _ in range(10):
+            rx = training + awgn(training.shape, noise_var, rng)
+            est, _ = estimate_preamble_snr(rx, training)
+            estimates.append(est)
+        assert np.mean(estimates) == pytest.approx(snr_db, abs=1.0)
+
+    def test_gain_estimate(self):
+        rng = np.random.default_rng(5)
+        training = training_symbols(2, 256)
+        h = 0.8 * np.exp(1j * 1.1)
+        rx = h * training + awgn(training.shape, 1e-4, rng)
+        _, gain = estimate_preamble_snr(rx, training)
+        assert abs(gain - h) < 0.02
+
+    def test_misses_mid_frame_fade(self):
+        # The defining weakness of preamble SNR (paper section 2.2 /
+        # Fig. 9): a fade after the preamble is invisible to it.
+        rng = np.random.default_rng(6)
+        training = training_symbols(2, 256)
+        noise_var = db_to_linear(-15)
+        rx = training + awgn(training.shape, noise_var, rng)
+        est, _ = estimate_preamble_snr(rx, training)
+        # Frame gains collapse after the preamble; the true average SNR
+        # is far below the preamble estimate.
+        gains = np.concatenate([np.ones(2), np.full(10, 0.05)])
+        truth = true_average_snr_db(gains, noise_var)
+        assert est > truth + 5.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_preamble_snr(np.zeros((2, 8)), np.zeros((2, 4)))

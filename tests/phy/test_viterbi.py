@@ -1,0 +1,88 @@
+"""Tests for the hard-output Viterbi decoder."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy import bits as bitutil
+from repro.phy.convcode import ConvolutionalCode, depuncture, puncture
+from repro.phy.viterbi import viterbi_decode
+
+
+def _to_llrs(coded_bits, magnitude=4.0):
+    """Perfect-channel LLRs for hard coded bits."""
+    return magnitude * (2.0 * coded_bits.astype(np.float64) - 1.0)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return ConvolutionalCode()
+
+
+class TestCleanChannel:
+    def test_decodes_clean_stream(self, code):
+        rng = np.random.default_rng(0)
+        info = bitutil.random_bits(200, rng)
+        decoded = viterbi_decode(code, _to_llrs(code.encode(info)))
+        assert np.array_equal(decoded, info)
+
+    @pytest.mark.parametrize("rate", [Fraction(1, 2), Fraction(2, 3),
+                                      Fraction(3, 4)])
+    def test_decodes_through_puncturing(self, code, rate):
+        rng = np.random.default_rng(1)
+        info = bitutil.random_bits(150, rng)
+        coded = code.encode(info)
+        survived = puncture(coded, rate)
+        llrs = depuncture(_to_llrs(survived), coded.size, rate)
+        assert np.array_equal(viterbi_decode(code, llrs), info)
+
+
+class TestErrorCorrection:
+    def test_corrects_isolated_bit_flips(self, code):
+        # d_free of the K=7 code is 10: up to 4 well-separated channel
+        # errors must always be corrected at rate 1/2.
+        rng = np.random.default_rng(2)
+        info = bitutil.random_bits(200, rng)
+        coded = code.encode(info).astype(np.float64)
+        llrs = _to_llrs(coded)
+        for pos in (10, 110, 210, 310):
+            llrs[pos] = -llrs[pos]
+        assert np.array_equal(viterbi_decode(code, llrs), info)
+
+    def test_weighs_confidence(self, code):
+        # A flipped bit with tiny magnitude must lose against correct
+        # high-confidence neighbours.
+        rng = np.random.default_rng(3)
+        info = bitutil.random_bits(100, rng)
+        llrs = _to_llrs(code.encode(info))
+        llrs[20] = -0.01 * np.sign(llrs[20])
+        assert np.array_equal(viterbi_decode(code, llrs), info)
+
+    def test_erasures_tolerated(self, code):
+        rng = np.random.default_rng(4)
+        info = bitutil.random_bits(100, rng)
+        llrs = _to_llrs(code.encode(info))
+        llrs[40:46] = 0.0   # six consecutive erasures
+        assert np.array_equal(viterbi_decode(code, llrs), info)
+
+
+class TestValidation:
+    def test_odd_length_rejected(self, code):
+        with pytest.raises(ValueError):
+            viterbi_decode(code, np.zeros(11))
+
+    def test_too_short_rejected(self, code):
+        with pytest.raises(ValueError):
+            viterbi_decode(code, np.zeros(8))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=120), st.integers(0, 2**32 - 1))
+def test_roundtrip_property(n_bits, seed):
+    code = ConvolutionalCode()
+    rng = np.random.default_rng(seed)
+    info = bitutil.random_bits(n_bits, rng)
+    decoded = viterbi_decode(code, _to_llrs(code.encode(info)))
+    assert np.array_equal(decoded, info)

@@ -1,0 +1,47 @@
+"""Tests for the omniscient oracle and fixed-rate adapters."""
+
+import pytest
+
+from repro.phy.rates import RATE_TABLE
+from repro.rateadapt.fixed import FixedRate
+from repro.rateadapt.omniscient import OmniscientAdapter
+from repro.traces.synthetic import alternating_trace, constant_trace
+
+RATES = RATE_TABLE.prototype_subset()
+
+
+class TestOmniscient:
+    def test_reads_the_trace(self):
+        trace = alternating_trace(good_rate=5, bad_rate=4, period=1.0,
+                                  duration=4.0)
+        adapter = OmniscientAdapter(RATES, trace)
+        assert adapter.choose_rate(0.5) == 4
+        assert adapter.choose_rate(1.5) == 5
+
+    def test_blackout_falls_back_to_lowest(self):
+        trace = constant_trace(best_rate=3, duration=1.0)
+        trace.delivered[:, :] = False
+        adapter = OmniscientAdapter(RATES, trace)
+        assert adapter.choose_rate(0.1) == 0
+
+    def test_rate_table_must_match(self):
+        from repro.phy.rates import RateTable
+        trace = constant_trace(best_rate=1, duration=1.0)
+        with pytest.raises(ValueError):
+            OmniscientAdapter(RateTable([RATES[0]]), trace)
+
+
+class TestFixed:
+    def test_never_moves(self):
+        adapter = FixedRate(RATES, 2)
+        adapter.on_silent_loss(0.0, 2, 1e-3)
+        adapter.on_silent_loss(0.0, 2, 1e-3)
+        adapter.on_silent_loss(0.0, 2, 1e-3)
+        assert adapter.choose_rate(1.0) == 2
+
+    def test_name_includes_rate(self):
+        assert "QPSK 1/2" in FixedRate(RATES, 2).name
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            FixedRate(RATES, 17)

@@ -1,0 +1,89 @@
+"""Tests for the SampleRate baseline."""
+
+import pytest
+
+from repro.core.feedback import Feedback
+from repro.phy.rates import RATE_TABLE
+from repro.rateadapt.samplerate import SampleRate
+
+RATES = RATE_TABLE.prototype_subset()
+
+
+def _ok(ber=1e-6):
+    return Feedback(src=1, dest=0, seq=0, ber=ber, frame_ok=True)
+
+
+def _fail():
+    return Feedback(src=1, dest=0, seq=0, ber=0.1, frame_ok=False)
+
+
+def _airtime(rate_index, bits=11200):
+    return bits / (RATES[rate_index].mbps * 1e6)
+
+
+class TestSelection:
+    def test_picks_minimum_avg_tx_time(self):
+        adapter = SampleRate(RATES, sample_every=1000)
+        # Rate 5 succeeds always; rate 3 also succeeds but is slower.
+        for i in range(10):
+            adapter.on_feedback(i * 1e-3, 5, _ok(), _airtime(5))
+            adapter.on_feedback(i * 1e-3, 3, _ok(), _airtime(3))
+        assert adapter.choose_rate(0.02) == 5
+
+    def test_losses_inflate_avg_time(self):
+        adapter = SampleRate(RATES, sample_every=1000)
+        now = 0.0
+        for i in range(10):
+            now = i * 1e-3
+            adapter.on_feedback(now, 4, _ok(), _airtime(4))
+            # rate 5: one success, then constant failures
+            if i == 0:
+                adapter.on_feedback(now, 5, _ok(), _airtime(5))
+            else:
+                adapter.on_feedback(now, 5, _fail(), _airtime(5))
+        assert adapter.choose_rate(now) == 4
+
+    def test_window_expires_old_evidence(self):
+        adapter = SampleRate(RATES, window=1.0, sample_every=1000)
+        adapter.on_feedback(0.0, 5, _fail(), _airtime(5))
+        adapter.on_feedback(0.0, 4, _ok(), _airtime(4))
+        # Two seconds later the old failure is forgotten; with no data
+        # the adapter holds its current choice.
+        adapter.on_feedback(2.0, 5, _ok(), _airtime(5))
+        assert adapter.choose_rate(2.1) == 5
+
+    def test_silent_losses_count_as_failures(self):
+        adapter = SampleRate(RATES, sample_every=1000)
+        adapter.on_feedback(0.0, 3, _ok(), _airtime(3))
+        for _ in range(5):
+            adapter.on_silent_loss(0.0, 5, _airtime(5))
+        assert adapter.choose_rate(0.01) == 3
+
+
+class TestSampling:
+    def test_samples_periodically(self):
+        adapter = SampleRate(RATES, sample_every=10)
+        for i in range(3):
+            adapter.on_feedback(i * 1e-3, 4, _ok(), _airtime(4))
+        chosen = [adapter.choose_rate(0.01 + i * 1e-3)
+                  for i in range(30)]
+        assert any(rate != 4 for rate in chosen)
+        assert sum(rate == 4 for rate in chosen) > len(chosen) // 2
+
+    def test_hopeless_rates_not_sampled(self):
+        # A rate whose lossless airtime exceeds the current average
+        # can never win and must not be probed.
+        adapter = SampleRate(RATES, sample_every=2)
+        for i in range(20):
+            adapter.on_feedback(i * 1e-4, 5, _ok(), _airtime(5))
+        chosen = {adapter.choose_rate(0.01 + i * 1e-4)
+                  for i in range(40)}
+        assert 0 not in chosen      # 6 Mbps can't beat clean 36 Mbps
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SampleRate(RATES, window=0.0)
+        with pytest.raises(ValueError):
+            SampleRate(RATES, sample_every=1)

@@ -1,0 +1,106 @@
+"""Tests for SNR-threshold adaptation (trained / untrained / CHARM)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import Feedback
+from repro.phy.rates import RATE_TABLE
+from repro.rateadapt.snr_based import (SnrBasedAdapter,
+                                       theoretical_snr_thresholds,
+                                       train_snr_thresholds)
+from repro.traces.generate import generate_fading_trace
+
+RATES = RATE_TABLE.prototype_subset()
+
+
+def _feedback(snr_db):
+    return Feedback(src=1, dest=0, seq=0, ber=0.0, frame_ok=True,
+                    snr_db=snr_db)
+
+
+class TestTheoreticalThresholds:
+    def test_monotone(self):
+        thresholds = theoretical_snr_thresholds(RATES)
+        assert thresholds == sorted(thresholds)
+
+    def test_sane_range(self):
+        thresholds = theoretical_snr_thresholds(RATES)
+        assert 0.0 <= thresholds[0] <= 6.0       # BPSK 1/2
+        assert 10.0 <= thresholds[5] <= 18.0     # QAM16 3/4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theoretical_snr_thresholds(RATES, target_loss=0.0)
+
+
+class TestTrainedThresholds:
+    def test_trained_on_fading_exceed_awgn(self):
+        # Fading within frames means a given preamble SNR delivers less
+        # than AWGN theory says, so in-situ thresholds sit higher.
+        rng = np.random.default_rng(5)
+        trace = generate_fading_trace(rng, duration=5.0,
+                                      mean_snr_db=lambda t: 14.0,
+                                      doppler_hz=40.0)
+        trained = train_snr_thresholds(trace)
+        theory = theoretical_snr_thresholds(RATES)
+        pairs = [(a, b) for a, b in zip(trained, theory)
+                 if a < float("inf")]
+        assert len(pairs) >= 3
+        mean_gap = np.mean([a - b for a, b in pairs])
+        assert mean_gap > -1.0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(6)
+        trace = generate_fading_trace(rng, duration=3.0,
+                                      mean_snr_db=lambda t: 12.0)
+        thresholds = train_snr_thresholds(trace)
+        finite = [t for t in thresholds if t < float("inf")]
+        assert finite == sorted(finite)
+
+
+class TestAdapter:
+    def test_picks_rate_by_threshold(self):
+        adapter = SnrBasedAdapter(RATES, [0, 3, 6, 9, 12, 15])
+        adapter.on_feedback(0.0, 2, _feedback(10.0), 1e-3)
+        assert adapter.choose_rate(0.1) == 3     # >= 9, < 12
+
+    def test_below_all_thresholds_uses_lowest(self):
+        adapter = SnrBasedAdapter(RATES, [5, 8, 11, 14, 17, 20])
+        adapter.on_feedback(0.0, 2, _feedback(1.0), 1e-3)
+        assert adapter.choose_rate(0.1) == 0
+
+    def test_instantaneous_tracks_latest(self):
+        adapter = SnrBasedAdapter(RATES, [0, 3, 6, 9, 12, 15])
+        adapter.on_feedback(0.0, 0, _feedback(16.0), 1e-3)
+        adapter.on_feedback(0.1, 5, _feedback(1.0), 1e-3)
+        assert adapter.choose_rate(0.2) == 0
+
+    def test_charm_averages(self):
+        adapter = SnrBasedAdapter(RATES, [0, 3, 6, 9, 12, 15],
+                                  averaging=1.0)
+        adapter.on_feedback(0.0, 0, _feedback(15.0), 1e-3)
+        # A single transient dip barely moves the EWMA.
+        adapter.on_feedback(0.01, 5, _feedback(0.0), 1e-3)
+        assert adapter.choose_rate(0.02) >= 4
+        assert adapter.name == "CHARM"
+
+    def test_nan_snr_ignored(self):
+        adapter = SnrBasedAdapter(RATES, [0, 3, 6, 9, 12, 15])
+        adapter.on_feedback(0.0, 2, _feedback(10.0), 1e-3)
+        adapter.on_feedback(0.1, 2, _feedback(float("nan")), 1e-3)
+        assert adapter.choose_rate(0.2) == 3
+
+    def test_silent_losses_decay_estimate(self):
+        adapter = SnrBasedAdapter(RATES, [0, 3, 6, 9, 12, 15])
+        adapter.on_feedback(0.0, 3, _feedback(9.5), 1e-3)
+        for _ in range(5):
+            adapter.on_silent_loss(0.0, 3, 1e-3)
+        assert adapter.choose_rate(0.1) < 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnrBasedAdapter(RATES, [0, 3, 6])          # wrong length
+        with pytest.raises(ValueError):
+            SnrBasedAdapter(RATES, [5, 3, 6, 9, 12, 15])  # not sorted
+        with pytest.raises(ValueError):
+            SnrBasedAdapter(RATES, [0, 3, 6, 9, 12, 15], averaging=0.0)

@@ -1,0 +1,127 @@
+"""Tests for the SoftRate algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import Feedback
+from repro.core.thresholds import FrameLevelArq, compute_thresholds
+from repro.phy.rates import RATE_TABLE
+from repro.rateadapt.softrate import SoftRate
+
+RATES = RATE_TABLE.prototype_subset()
+
+
+def _feedback(ber, frame_ok=True, interference=False):
+    return Feedback(src=1, dest=0, seq=0, ber=ber, frame_ok=frame_ok,
+                    interference_detected=interference)
+
+
+@pytest.fixture()
+def softrate():
+    return SoftRate(RATES, initial_rate=3)
+
+
+class TestRateWalk:
+    def test_stays_in_sweet_spot(self, softrate):
+        t = softrate.thresholds[3]
+        mid = np.sqrt(t.alpha * t.beta)
+        softrate.on_feedback(0.0, 3, _feedback(mid), 1e-3)
+        assert softrate.choose_rate(0.1) == 3
+
+    def test_moves_up_on_low_ber(self, softrate):
+        softrate.on_feedback(0.0, 3, _feedback(1e-12), 1e-3)
+        assert softrate.choose_rate(0.1) > 3
+
+    def test_moves_down_on_high_ber(self, softrate):
+        softrate.on_feedback(0.0, 3, _feedback(0.05, frame_ok=False),
+                             1e-3)
+        assert softrate.choose_rate(0.1) < 3
+
+    def test_jump_capped_at_two(self):
+        adapter = SoftRate(RATES, initial_rate=5, max_jump=2)
+        adapter.on_feedback(0.0, 5, _feedback(0.4, frame_ok=False), 1e-3)
+        assert adapter.choose_rate(0.1) >= 3
+
+    def test_single_jump_configuration(self):
+        adapter = SoftRate(RATES, initial_rate=5, max_jump=1)
+        adapter.on_feedback(0.0, 5, _feedback(0.4, frame_ok=False), 1e-3)
+        assert adapter.choose_rate(0.1) == 4
+
+    def test_collision_does_not_reduce_rate(self, softrate):
+        # Interference-detected feedback carries the clean-portion BER,
+        # so a collided-but-channel-good frame must not drop the rate.
+        t = softrate.thresholds[3]
+        mid = np.sqrt(t.alpha * t.beta)
+        softrate.on_feedback(0.0, 3,
+                             _feedback(mid, frame_ok=False,
+                                       interference=True), 1e-3)
+        assert softrate.choose_rate(0.1) == 3
+
+
+class TestSilentLosses:
+    def test_three_silent_losses_drop_rate(self, softrate):
+        for _ in range(2):
+            softrate.on_silent_loss(0.0, 3, 1e-3)
+            assert softrate.choose_rate(0.0) == 3
+        softrate.on_silent_loss(0.0, 3, 1e-3)
+        assert softrate.choose_rate(0.0) == 2
+
+    def test_feedback_resets_silence_counter(self, softrate):
+        t = softrate.thresholds[3]
+        mid = np.sqrt(t.alpha * t.beta)
+        softrate.on_silent_loss(0.0, 3, 1e-3)
+        softrate.on_silent_loss(0.0, 3, 1e-3)
+        softrate.on_feedback(0.0, 3, _feedback(mid), 1e-3)
+        softrate.on_silent_loss(0.0, 3, 1e-3)
+        softrate.on_silent_loss(0.0, 3, 1e-3)
+        assert softrate.choose_rate(0.0) == 3
+
+    def test_counter_resets_after_drop(self, softrate):
+        for _ in range(3):
+            softrate.on_silent_loss(0.0, 3, 1e-3)
+        assert softrate.choose_rate(0.0) == 2
+        softrate.on_silent_loss(0.0, 2, 1e-3)
+        assert softrate.choose_rate(0.0) == 2    # needs 3 again
+
+    def test_floor_at_lowest_rate(self):
+        adapter = SoftRate(RATES, initial_rate=0)
+        for _ in range(9):
+            adapter.on_silent_loss(0.0, 0, 1e-3)
+        assert adapter.choose_rate(0.0) == 0
+
+    def test_custom_limit(self):
+        adapter = SoftRate(RATES, initial_rate=3, silent_loss_limit=1)
+        adapter.on_silent_loss(0.0, 3, 1e-3)
+        assert adapter.choose_rate(0.0) == 2
+
+
+class TestRecoveryModelModularity:
+    def test_harq_thresholds_tolerate_more_ber(self):
+        # The architectural claim of section 3.3: swapping the error
+        # recovery model changes only the thresholds.  With H-ARQ-like
+        # thresholds a BER that frame-ARQ SoftRate flees from is kept.
+        from repro.core.thresholds import PartialBitArq
+        ber = 3e-4
+        frame_arq = SoftRate(RATES, initial_rate=3)
+        harq = SoftRate(RATES, initial_rate=3,
+                        thresholds=compute_thresholds(
+                            RATES, PartialBitArq(500.0)))
+        frame_arq.on_feedback(0.0, 3, _feedback(ber), 1e-3)
+        harq.on_feedback(0.0, 3, _feedback(ber), 1e-3)
+        assert frame_arq.choose_rate(0.1) < 3
+        assert harq.choose_rate(0.1) >= 3
+
+
+class TestValidation:
+    def test_mismatched_thresholds_rejected(self):
+        from repro.phy.rates import RateTable
+        table = compute_thresholds(RATES, FrameLevelArq(1000))
+        two_rates = RateTable([RATES[0], RATES[1]])
+        with pytest.raises(ValueError):
+            SoftRate(two_rates, thresholds=table)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SoftRate(RATES, max_jump=0)
+        with pytest.raises(ValueError):
+            SoftRate(RATES, silent_loss_limit=0)

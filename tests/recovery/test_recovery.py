@@ -1,0 +1,173 @@
+"""Tests for the error-recovery protocols (ARQ, PPR, IR)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import apply_channel, noise_var_for_snr_db
+from repro.phy.bits import random_bits
+from repro.phy.transceiver import Transceiver
+from repro.recovery import (FrameArqProtocol,
+                            IncrementalRedundancyProtocol, PprProtocol)
+
+
+@pytest.fixture(scope="module")
+def phy():
+    return Transceiver()
+
+
+def _awgn_channel(snr_db, seed):
+    rng = np.random.default_rng(seed)
+
+    def channel(tx_symbols, round_index):
+        gains = np.ones(tx_symbols.shape[0], dtype=complex)
+        return apply_channel(tx_symbols, gains,
+                             noise_var_for_snr_db(snr_db), rng)
+
+    return channel
+
+
+def _burst_channel(snr_db, seed, bad_symbols=3):
+    """Clean channel with a small faded region in round 0 only —
+    PPR's sweet spot: a mostly-correct first frame."""
+    rng = np.random.default_rng(seed)
+
+    def channel(tx_symbols, round_index):
+        n = tx_symbols.shape[0]
+        gains = np.ones(n, dtype=complex)
+        if round_index == 0:
+            mid = n // 2
+            gains[mid:mid + bad_symbols] = 0.15
+        return apply_channel(tx_symbols, gains,
+                             noise_var_for_snr_db(snr_db), rng)
+
+    return channel
+
+
+class TestFrameArq:
+    def test_clean_channel_one_round(self, phy):
+        rng = np.random.default_rng(0)
+        payload = random_bits(512, rng)
+        proto = FrameArqProtocol(phy, _awgn_channel(15.0, 1))
+        outcome = proto.deliver(payload, rate_index=3)
+        assert outcome.delivered
+        assert outcome.rounds == 1
+        assert outcome.goodput_bps > 0
+
+    def test_burst_recovered_by_retry(self, phy):
+        rng = np.random.default_rng(1)
+        payload = random_bits(512, rng)
+        proto = FrameArqProtocol(phy, _burst_channel(14.0, 2))
+        outcome = proto.deliver(payload, rate_index=3)
+        assert outcome.delivered
+        assert outcome.rounds == 2          # round 0 hits the burst
+
+    def test_hopeless_channel_gives_up(self, phy):
+        rng = np.random.default_rng(2)
+        payload = random_bits(512, rng)
+        proto = FrameArqProtocol(phy, _awgn_channel(-5.0, 3),
+                                 max_rounds=3)
+        outcome = proto.deliver(payload, rate_index=5)
+        assert not outcome.delivered
+        assert outcome.rounds == 3
+        assert outcome.goodput_bps == 0.0
+
+    def test_airtime_grows_with_rounds(self, phy):
+        rng = np.random.default_rng(3)
+        payload = random_bits(512, rng)
+        one = FrameArqProtocol(phy, _awgn_channel(15.0, 4)).deliver(
+            payload, rate_index=3)
+        many = FrameArqProtocol(phy, _burst_channel(14.0, 5)).deliver(
+            payload, rate_index=3)
+        assert many.airtime > one.airtime
+
+    def test_validation(self, phy):
+        with pytest.raises(ValueError):
+            FrameArqProtocol(phy, _awgn_channel(10.0, 6), max_rounds=0)
+
+
+class TestPpr:
+    def test_clean_channel_one_round(self, phy):
+        rng = np.random.default_rng(4)
+        payload = random_bits(512, rng)
+        proto = PprProtocol(phy, _awgn_channel(15.0, 7))
+        outcome = proto.deliver(payload, rate_index=3)
+        assert outcome.delivered and outcome.rounds == 1
+
+    def test_burst_repaired_with_partial_retransmission(self, phy):
+        rng = np.random.default_rng(5)
+        payload = random_bits(1024, rng)
+        ppr = PprProtocol(phy, _burst_channel(14.0, 8))
+        arq = FrameArqProtocol(phy, _burst_channel(14.0, 8))
+        out_ppr = ppr.deliver(payload, rate_index=3)
+        out_arq = arq.deliver(payload, rate_index=3)
+        assert out_ppr.delivered and out_arq.delivered
+        # PPR resends a few chunks, not the whole frame.
+        assert out_ppr.airtime < out_arq.airtime
+
+    def test_feedback_accounts_bitmap(self, phy):
+        rng = np.random.default_rng(6)
+        payload = random_bits(512, rng)
+        proto = PprProtocol(phy, _burst_channel(14.0, 9))
+        outcome = proto.deliver(payload, rate_index=3)
+        if outcome.rounds > 1:
+            n_chunks = -(-(payload.size + 32) // proto.chunk_bits)
+            assert outcome.feedback_bits >= n_chunks
+
+    def test_validation(self, phy):
+        with pytest.raises(ValueError):
+            PprProtocol(phy, _awgn_channel(10.0, 0), chunk_bits=12)
+        with pytest.raises(ValueError):
+            PprProtocol(phy, _awgn_channel(10.0, 0), max_rounds=0)
+
+
+class TestIncrementalRedundancy:
+    def test_good_channel_single_minimal_round(self, phy):
+        rng = np.random.default_rng(7)
+        payload = random_bits(512, rng)
+        proto = IncrementalRedundancyProtocol(phy,
+                                              _awgn_channel(12.0, 10))
+        outcome = proto.deliver(payload, rate_index=3)
+        assert outcome.delivered and outcome.rounds == 1
+
+    def test_marginal_channel_adds_parity(self, phy):
+        # At an SNR where rate 3/4 fails but rate 1/2 works, IR must
+        # succeed in exactly two rounds.
+        rng = np.random.default_rng(8)
+        payload = random_bits(1024, rng)
+        two_round = 0
+        for seed in range(6):
+            proto = IncrementalRedundancyProtocol(
+                phy, _awgn_channel(2.0, 20 + seed))
+            outcome = proto.deliver(payload, rate_index=3)
+            assert outcome.delivered
+            two_round += outcome.rounds == 2
+        assert two_round >= 4
+
+    def test_chase_combining_eventually_wins(self, phy):
+        # Even below rate-1/2's threshold, repeated full rounds add
+        # LLR energy and get the frame through.
+        rng = np.random.default_rng(9)
+        payload = random_bits(512, rng)
+        proto = IncrementalRedundancyProtocol(
+            phy, _awgn_channel(-1.5, 30), max_rounds=6)
+        outcome = proto.deliver(payload, rate_index=2)
+        assert outcome.delivered
+        assert outcome.rounds >= 3
+
+    def test_round1_cheaper_than_full_frame(self, phy):
+        # IR's first round sends 3/4-punctured parity only: less
+        # airtime than ARQ's full rate-1/2 frame at the same
+        # modulation.
+        rng = np.random.default_rng(10)
+        payload = random_bits(1024, rng)
+        ir = IncrementalRedundancyProtocol(phy, _awgn_channel(15.0, 40))
+        arq = FrameArqProtocol(phy, _awgn_channel(15.0, 40))
+        out_ir = ir.deliver(payload, rate_index=2)   # QPSK 1/2
+        out_arq = arq.deliver(payload, rate_index=2)
+        assert out_ir.delivered and out_arq.delivered
+        assert out_ir.airtime < out_arq.airtime
+
+    def test_validation(self, phy):
+        with pytest.raises(ValueError):
+            IncrementalRedundancyProtocol(phy, _awgn_channel(10.0, 0),
+                                          max_rounds=0)

@@ -1,0 +1,100 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.eventsim import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run_until(2.0)
+        assert order == [1, 2]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run_until(5.0)
+        assert seen == [1.5]
+        assert sim.now == 5.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run_until(10.0)
+        assert seen == [2.0]
+
+    def test_run_until_excludes_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run_until(4.0)
+        assert seen == []
+        sim.run_until(6.0)
+        assert seen == ["late"]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        sim.run_until(2.0)
+        assert seen == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append("x"))
+        sim.run_until(2.0)
+        handle.cancel()
+        assert seen == ["x"]
+
+
+class TestRun:
+    def test_run_drains_queue(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(float(i), lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_max_events_bounds_runaway(self):
+        sim = Simulator()
+        count = [0]
+
+        def rearm():
+            count[0] += 1
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        sim.run(max_events=10)
+        assert count[0] == 10

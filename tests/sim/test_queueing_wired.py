@@ -1,0 +1,90 @@
+"""Tests for drop-tail queues and point-to-point links."""
+
+import pytest
+
+from repro.sim.eventsim import Simulator
+from repro.sim.queueing import DropTailQueue
+from repro.sim.wired import PointToPointLink
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(3)
+        for x in "abc":
+            assert q.push(x)
+        assert [q.pop(), q.pop(), q.pop()] == list("abc")
+
+    def test_drops_when_full(self):
+        q = DropTailQueue(2)
+        assert q.push(1) and q.push(2)
+        assert not q.push(3)
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_peek_does_not_remove(self):
+        q = DropTailQueue(2)
+        q.push("x")
+        assert q.peek() == "x"
+        assert len(q) == 1
+
+    def test_empty(self):
+        q = DropTailQueue(1)
+        assert q.empty
+        assert q.pop() is None
+        assert q.peek() is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+
+class TestPointToPoint:
+    def test_delivery_timing(self):
+        sim = Simulator()
+        arrivals = []
+        link = PointToPointLink(sim, rate_bps=1e6, delay=10e-3)
+        link.attach("a", lambda p: None)
+        link.attach("b", lambda p: arrivals.append((sim.now, p)))
+        link.send("a", "pkt", size_bits=1000)      # 1 ms serialisation
+        sim.run_until(1.0)
+        assert len(arrivals) == 1
+        time, packet = arrivals[0]
+        assert packet == "pkt"
+        assert time == pytest.approx(0.001 + 0.010)
+
+    def test_serialisation_queues_back_to_back(self):
+        sim = Simulator()
+        arrivals = []
+        link = PointToPointLink(sim, rate_bps=1e6, delay=0.0)
+        link.attach("a", lambda p: None)
+        link.attach("b", lambda p: arrivals.append(sim.now))
+        link.send("a", 1, size_bits=1000)
+        link.send("a", 2, size_bits=1000)
+        sim.run_until(1.0)
+        assert arrivals == pytest.approx([0.001, 0.002])
+
+    def test_full_duplex_independent(self):
+        sim = Simulator()
+        at_a, at_b = [], []
+        link = PointToPointLink(sim, rate_bps=1e6, delay=0.0)
+        link.attach("a", lambda p: at_a.append(sim.now))
+        link.attach("b", lambda p: at_b.append(sim.now))
+        link.send("a", "x", size_bits=1000)
+        link.send("b", "y", size_bits=1000)
+        sim.run_until(1.0)
+        assert at_a == pytest.approx([0.001])
+        assert at_b == pytest.approx([0.001])
+
+    def test_unattached_endpoint_rejected(self):
+        sim = Simulator()
+        link = PointToPointLink(sim)
+        link.attach("a", lambda p: None)
+        with pytest.raises(RuntimeError):
+            link.send("a", "pkt", 100)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PointToPointLink(sim, rate_bps=0.0)
+        with pytest.raises(ValueError):
+            PointToPointLink(sim, delay=-1.0)

@@ -1,0 +1,130 @@
+"""Tests for TCP Reno over the simulator."""
+
+import pytest
+
+from repro.sim.eventsim import Simulator
+from repro.sim.tcp import MSS_BYTES, Segment, TcpReceiver, TcpSender
+
+
+class _Pipe:
+    """Bidirectional lossy pipe wiring a sender and receiver."""
+
+    def __init__(self, delay=10e-3, drop=None):
+        self.sim = Simulator()
+        self.drop = drop or (lambda seg: False)
+        self.sender = TcpSender(self.sim, 0, self._to_receiver)
+        self.receiver = TcpReceiver(self.sim, 0, self._to_sender)
+
+    def _to_receiver(self, segment):
+        if self.drop(segment):
+            return
+        self.sim.schedule(10e-3,
+                          lambda: self.receiver.on_data(segment))
+
+    def _to_sender(self, segment):
+        self.sim.schedule(10e-3, lambda: self.sender.on_ack(segment))
+
+
+class TestBasicTransfer:
+    def test_lossless_transfer_progresses(self):
+        pipe = _Pipe()
+        pipe.sender.start()
+        pipe.sim.run_until(2.0)
+        assert pipe.receiver.next_expected > 100
+        assert pipe.sender.retransmissions == 0
+        assert pipe.sender.timeouts == 0
+
+    def test_slow_start_doubles_window(self):
+        pipe = _Pipe()
+        pipe.sender.start()
+        # After ~3 RTTs of slow start, cwnd should have grown well
+        # beyond its initial value of 1.
+        pipe.sim.run_until(0.07)
+        assert pipe.sender.cwnd >= 4
+
+    def test_delivered_bytes_accounting(self):
+        pipe = _Pipe()
+        pipe.sender.start()
+        pipe.sim.run_until(1.0)
+        assert pipe.receiver.delivered_bytes == \
+            pipe.receiver.next_expected * MSS_BYTES
+
+
+class TestLossRecovery:
+    def test_single_loss_triggers_fast_retransmit(self):
+        dropped = []
+
+        def drop(segment):
+            if segment.seq == 20 and 20 not in dropped:
+                dropped.append(segment.seq)
+                return True
+            return False
+
+        pipe = _Pipe(drop=drop)
+        pipe.sender.start()
+        pipe.sim.run_until(2.0)
+        assert dropped == [20]
+        assert pipe.sender.retransmissions >= 1
+        assert pipe.sender.timeouts == 0         # recovered via dupacks
+        assert pipe.receiver.next_expected > 50
+
+    def test_loss_halves_cwnd(self):
+        state = {"cwnd_before": None}
+
+        def drop(segment):
+            if segment.seq == 30 and state["cwnd_before"] is None:
+                state["cwnd_before"] = pipe.sender.cwnd
+                return True
+            return False
+
+        pipe = _Pipe(drop=drop)
+        pipe.sender.start()
+        pipe.sim.run_until(2.0)
+        assert state["cwnd_before"] is not None
+        assert pipe.sender.ssthresh <= state["cwnd_before"]
+
+    def test_total_blackout_uses_rto(self):
+        pipe = _Pipe(drop=lambda seg: True)
+        pipe.sender.start()
+        pipe.sim.run_until(8.0)
+        assert pipe.sender.timeouts >= 2
+        # Exponential backoff: retransmissions are spaced out, not
+        # flooding.
+        assert pipe.sender.segments_sent < 10
+
+    def test_recovers_after_blackout_ends(self):
+        state = {"until": 2.0}
+
+        def drop(segment):
+            return pipe.sim.now < state["until"]
+
+        pipe = _Pipe(drop=drop)
+        pipe.sender.start()
+        pipe.sim.run_until(10.0)
+        assert pipe.receiver.next_expected > 100
+
+
+class TestReceiver:
+    def test_out_of_order_buffering(self):
+        sim = Simulator()
+        acks = []
+        receiver = TcpReceiver(sim, 0, lambda s: acks.append(s.ack))
+        receiver.on_data(Segment(flow=0, seq=0))
+        receiver.on_data(Segment(flow=0, seq=2))      # gap at 1
+        receiver.on_data(Segment(flow=0, seq=1))      # fills the gap
+        assert acks == [1, 1, 3]
+
+    def test_foreign_flow_ignored(self):
+        sim = Simulator()
+        acks = []
+        receiver = TcpReceiver(sim, 0, lambda s: acks.append(s.ack))
+        receiver.on_data(Segment(flow=7, seq=0))
+        assert acks == []
+
+    def test_duplicate_data_reacked(self):
+        sim = Simulator()
+        acks = []
+        receiver = TcpReceiver(sim, 0, lambda s: acks.append(s.ack))
+        receiver.on_data(Segment(flow=0, seq=0))
+        receiver.on_data(Segment(flow=0, seq=0))
+        assert acks == [1, 1]

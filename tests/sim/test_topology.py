@@ -1,0 +1,72 @@
+"""Integration tests for the Fig. 12 topology."""
+
+import pytest
+
+from repro.rateadapt import FixedRate, SoftRate
+from repro.sim.topology import run_tcp_uplink
+from repro.traces.synthetic import constant_trace
+
+
+def _traces(n, best_rate=4):
+    return [constant_trace(best_rate=best_rate, duration=2.0)
+            for _ in range(n)]
+
+
+class TestTcpUplink:
+    def test_single_flow_transfers(self):
+        result = run_tcp_uplink(
+            _traces(1), _traces(1),
+            lambda rates, trace: FixedRate(rates, 4),
+            n_clients=1, duration=2.0)
+        assert result.aggregate_mbps > 3.0
+        assert result.per_flow_mbps[0] == result.aggregate_mbps
+
+    def test_throughput_bounded_by_rate(self):
+        # At the 6 Mbps nominal rate, goodput must land in the right
+        # ballpark (the simulated airtime differs slightly from the
+        # 48-subcarrier nominal rate, so allow some headroom).
+        result = run_tcp_uplink(
+            _traces(1), _traces(1),
+            lambda rates, trace: FixedRate(rates, 0),
+            n_clients=1, duration=2.0)
+        assert 0.5 < result.aggregate_mbps < 8.0
+
+    def test_multiple_clients_share_medium(self):
+        one = run_tcp_uplink(
+            _traces(1), _traces(1),
+            lambda rates, trace: FixedRate(rates, 4),
+            n_clients=1, duration=2.0)
+        three = run_tcp_uplink(
+            _traces(3), _traces(3),
+            lambda rates, trace: FixedRate(rates, 4),
+            n_clients=3, duration=2.0)
+        # Aggregate stays in the same ballpark; per-flow drops.
+        assert three.aggregate_mbps < one.aggregate_mbps * 1.5
+        assert max(three.per_flow_mbps) < one.per_flow_mbps[0]
+        # No starvation.
+        assert min(three.per_flow_mbps) > 0.0
+
+    def test_softrate_end_to_end(self):
+        result = run_tcp_uplink(
+            _traces(1), _traces(1),
+            lambda rates, trace: SoftRate(rates),
+            n_clients=1, duration=2.0)
+        assert result.aggregate_mbps > 3.0
+        log = result.frame_logs[1]
+        # SoftRate must settle on the channel's best rate (4).
+        settled = [e.rate_index for e in log[len(log) // 2:]]
+        assert sum(r == 4 for r in settled) / len(settled) > 0.7
+
+    def test_frame_logs_cover_all_stations(self):
+        result = run_tcp_uplink(
+            _traces(2), _traces(2),
+            lambda rates, trace: FixedRate(rates, 3),
+            n_clients=2, duration=1.0)
+        assert set(result.frame_logs) == {0, 1, 2}
+        assert len(result.frame_logs[1]) > 0
+        assert len(result.frame_logs[0]) > 0     # AP sends TCP ACKs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_tcp_uplink([], [], lambda r, t: FixedRate(r, 0),
+                           n_clients=1)

@@ -1,0 +1,185 @@
+"""Tests for the wireless channel's collision geometry."""
+
+import numpy as np
+import pytest
+
+from repro.sim.wireless import MacFrame, Transmission, WirelessChannel
+from repro.traces.synthetic import constant_trace
+
+
+def _frame(src=1, dest=0, seq=0):
+    return MacFrame(src=src, dest=dest, seq=seq, payload=None,
+                    payload_bits=11200)
+
+
+def _tx(frame, start, duration, rate=3, preamble=16e-6, postamble=8e-6):
+    return Transmission(frame=frame, rate_index=rate, start=start,
+                        end=start + duration,
+                        preamble_end=start + preamble,
+                        postamble_start=start + duration - postamble)
+
+
+def _channel(detect_prob=1.0, use_postambles=True, cs=None, seed=0):
+    trace = constant_trace(best_rate=5, duration=1.0)
+    traces = {(1, 0): trace, (2, 0): trace, (0, 1): trace, (2, 3): trace}
+    return WirelessChannel(traces, np.random.default_rng(seed),
+                           detect_prob=detect_prob,
+                           use_postambles=use_postambles,
+                           carrier_sense_prob=cs)
+
+
+class TestCleanPath:
+    def test_clean_frame_delivers_with_feedback(self):
+        channel = _channel()
+        tx = _tx(_frame(), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        fate = channel.conclude_transmission(tx)
+        assert fate.kind == "clean"
+        assert fate.delivered
+        assert fate.feedback.frame_ok
+        assert fate.feedback.seq == tx.frame.seq
+
+    def test_rate_above_channel_fails_with_feedback(self):
+        trace = constant_trace(best_rate=2, duration=1.0)
+        channel = WirelessChannel({(1, 0): trace},
+                                  np.random.default_rng(0))
+        tx = _tx(_frame(), 0.0, 1e-3, rate=5)
+        channel.begin_transmission(tx)
+        fate = channel.conclude_transmission(tx)
+        assert fate.kind == "clean"
+        assert not fate.delivered
+        assert fate.feedback is not None          # header still decoded
+        assert not fate.feedback.frame_ok
+
+
+class TestCollisions:
+    def test_first_frame_collided_second_postamble(self):
+        channel = _channel()
+        first = _tx(_frame(src=1), 0.0, 1e-3)
+        second = _tx(_frame(src=2), 0.4e-3, 1e-3)   # ends later
+        channel.begin_transmission(first)
+        channel.begin_transmission(second)
+        fate1 = channel.conclude_transmission(first)
+        fate2 = channel.conclude_transmission(second)
+        assert fate1.kind == "collided"
+        assert not fate1.delivered
+        assert fate1.feedback is not None
+        assert fate2.kind == "postamble"
+        assert fate2.feedback.postamble_only
+
+    def test_contained_frame_is_silent(self):
+        channel = _channel()
+        big = _tx(_frame(src=1), 0.0, 2e-3)
+        small = _tx(_frame(src=2), 0.5e-3, 0.5e-3)   # fully inside
+        channel.begin_transmission(big)
+        channel.begin_transmission(small)
+        assert channel.conclude_transmission(small).kind == "silent"
+
+    def test_postambles_disabled_means_silent(self):
+        channel = _channel(use_postambles=False)
+        first = _tx(_frame(src=1), 0.0, 1e-3)
+        second = _tx(_frame(src=2), 0.4e-3, 1e-3)
+        channel.begin_transmission(first)
+        channel.begin_transmission(second)
+        assert channel.conclude_transmission(second).kind == "silent"
+
+    def test_detection_probability_zero_reports_noise(self):
+        channel = _channel(detect_prob=0.0)
+        first = _tx(_frame(src=1), 0.0, 1e-3)
+        second = _tx(_frame(src=2), 0.4e-3, 1e-3)
+        channel.begin_transmission(first)
+        channel.begin_transmission(second)
+        fate = channel.conclude_transmission(first)
+        assert fate.kind == "collided"
+        assert not fate.interference_detected
+        assert fate.feedback.ber > 0.01           # looks like noise
+
+    def test_detection_probability_one_reports_clean_ber(self):
+        channel = _channel(detect_prob=1.0)
+        first = _tx(_frame(src=1), 0.0, 1e-3)
+        second = _tx(_frame(src=2), 0.4e-3, 1e-3)
+        channel.begin_transmission(first)
+        channel.begin_transmission(second)
+        fate = channel.conclude_transmission(first)
+        assert fate.interference_detected
+        assert fate.feedback.ber < 1e-3           # channel is clean
+
+    def test_rts_protected_frame_ignores_overlap(self):
+        channel = _channel()
+        protected = _tx(_frame(src=1), 0.0, 1e-3)
+        protected.rts_protected = True
+        other = _tx(_frame(src=2), 0.4e-3, 1e-3)
+        channel.begin_transmission(protected)
+        channel.begin_transmission(other)
+        fate = channel.conclude_transmission(protected)
+        assert fate.kind == "clean"
+        assert fate.delivered
+
+    def test_receiver_transmitting_is_deaf(self):
+        channel = _channel()
+        # Station 0 transmits while station 1 sends to it.
+        from_zero = _tx(_frame(src=0, dest=1), 0.0, 2e-3)
+        to_zero = _tx(_frame(src=1, dest=0), 0.5e-3, 0.5e-3)
+        channel.begin_transmission(from_zero)
+        channel.begin_transmission(to_zero)
+        assert channel.conclude_transmission(to_zero).kind == "silent"
+
+    def test_different_receivers_still_interfere(self):
+        # Single collision domain: a frame for station 3 still corrupts
+        # reception at station 0.
+        channel = _channel()
+        to_ap = _tx(_frame(src=1, dest=0), 0.0, 1e-3)
+        other = _tx(_frame(src=2, dest=3), 0.4e-3, 1e-3)
+        channel.begin_transmission(to_ap)
+        channel.begin_transmission(other)
+        assert channel.conclude_transmission(to_ap).kind == "collided"
+
+
+class TestCarrierSense:
+    def test_perfect_sense_sees_busy(self):
+        channel = _channel()
+        tx = _tx(_frame(src=1), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        assert channel.medium_busy_until(2, 0.5e-3) == pytest.approx(1e-3)
+
+    def test_own_transmission_always_sensed(self):
+        channel = _channel(cs=lambda a, b: 0.0)
+        tx = _tx(_frame(src=1), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        assert channel.medium_busy_until(1, 0.5e-3) is not None
+
+    def test_hidden_terminal_never_senses(self):
+        channel = _channel(cs=lambda a, b: 0.0)
+        tx = _tx(_frame(src=1), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        assert channel.medium_busy_until(2, 0.5e-3) is None
+
+    def test_sense_sample_is_sticky(self):
+        # One transmission must look consistently busy or consistently
+        # hidden to a given listener, not flip per query.
+        channel = _channel(cs=lambda a, b: 0.5, seed=3)
+        tx = _tx(_frame(src=1), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        first = channel.medium_busy_until(2, 0.1e-3)
+        for _ in range(10):
+            assert channel.medium_busy_until(2, 0.1e-3) == first
+
+    def test_idle_after_end(self):
+        channel = _channel()
+        tx = _tx(_frame(src=1), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        assert channel.medium_busy_until(2, 1.5e-3) is None
+
+
+class TestValidation:
+    def test_missing_trace_rejected(self):
+        channel = _channel()
+        tx = _tx(_frame(src=9, dest=9), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        with pytest.raises(KeyError):
+            channel.conclude_transmission(tx)
+
+    def test_detect_prob_validated(self):
+        with pytest.raises(ValueError):
+            WirelessChannel({}, np.random.default_rng(0),
+                            detect_prob=1.5)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestRates:
+    def test_prints_table(self, capsys):
+        assert main(["rates"]) == 0
+        out = capsys.readouterr().out
+        assert "QPSK" in out and "18 Mbps" in out
+        assert "long_range" in out
+
+
+class TestTraceRoundtrip:
+    def test_generate_and_inspect(self, tmp_path, capsys):
+        path = str(tmp_path / "link.npz")
+        assert main(["trace", path, "--duration", "1.0",
+                     "--snr", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "200 slots" in out
+        assert main(["inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "BPSK 1/2" in out
+        assert "delivered" in out
+
+    def test_walking_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "walk.npz")
+        assert main(["trace", path, "--duration", "1.0",
+                     "--walking"]) == 0
+        from repro.traces.format import LinkTrace
+        trace = LinkTrace.load(path)
+        assert trace.n_slots == 200
+
+
+class TestThresholds:
+    def test_arq(self, capsys):
+        assert main(["thresholds"]) == 0
+        out = capsys.readouterr().out
+        assert "QPSK 3/4" in out
+
+    def test_harq_differs(self, capsys):
+        main(["thresholds", "--recovery", "arq"])
+        arq = capsys.readouterr().out
+        main(["thresholds", "--recovery", "harq"])
+        harq = capsys.readouterr().out
+        assert arq != harq
+
+
+class TestSimulate:
+    def test_short_softrate_run(self, capsys):
+        assert main(["simulate", "--duration", "1.0",
+                     "--protocol", "softrate"]) == 0
+        out = capsys.readouterr().out
+        assert "softrate:" in out
+        assert "Mbps" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

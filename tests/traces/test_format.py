@@ -1,0 +1,117 @@
+"""Tests for the LinkTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.traces.format import LinkTrace
+
+
+def _trace(n_rates=3, n_slots=10, slot=5e-3, loss_prob=None):
+    rng = np.random.default_rng(0)
+    delivered = rng.random((n_rates, n_slots)) > 0.3
+    return LinkTrace(
+        slot_duration=slot,
+        snr_db=np.linspace(20, 5, n_slots),
+        detected=np.ones(n_slots, dtype=bool),
+        ber_true=rng.uniform(1e-6, 1e-2, (n_rates, n_slots)),
+        ber_est=rng.uniform(1e-6, 1e-2, (n_rates, n_slots)),
+        delivered=delivered,
+        loss_prob=loss_prob,
+        rate_names=[f"r{i}" for i in range(n_rates)])
+
+
+class TestConstruction:
+    def test_shapes_validated(self):
+        with pytest.raises(ValueError):
+            LinkTrace(slot_duration=1e-3, snr_db=np.zeros(5),
+                      detected=np.ones(4, dtype=bool),
+                      ber_true=np.zeros((2, 5)), ber_est=np.zeros((2, 5)),
+                      delivered=np.zeros((2, 5), dtype=bool))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTrace(slot_duration=1e-3, snr_db=np.zeros(0),
+                      detected=np.ones(0, dtype=bool),
+                      ber_true=np.zeros((2, 0)), ber_est=np.zeros((2, 0)),
+                      delivered=np.zeros((2, 0), dtype=bool))
+
+    def test_loss_prob_range_validated(self):
+        with pytest.raises(ValueError):
+            _trace(loss_prob=np.full((3, 10), 1.5))
+
+    def test_default_loss_prob_from_delivered(self):
+        trace = _trace()
+        assert np.array_equal(trace.loss_prob,
+                              1.0 - trace.delivered.astype(float))
+
+
+class TestLookup:
+    def test_slot_at(self):
+        trace = _trace()
+        assert trace.slot_at(0.0) == 0
+        assert trace.slot_at(0.012) == 2
+
+    def test_wraparound(self):
+        trace = _trace(n_slots=10, slot=5e-3)    # 50 ms trace
+        assert trace.slot_at(0.051) == trace.slot_at(0.001)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            _trace().slot_at(-1.0)
+
+    def test_observe_rate_range(self):
+        with pytest.raises(ValueError):
+            _trace(n_rates=3).observe(0.0, 3)
+
+    def test_degenerate_outcomes_deterministic(self):
+        trace = _trace()     # loss probs are all 0 or 1
+        for t in (0.0, 0.007, 0.021):
+            for r in range(trace.n_rates):
+                obs = trace.observe(t, r)
+                slot = trace.slot_at(t)
+                assert obs.delivered == bool(trace.delivered[r, slot])
+
+    def test_fractional_loss_resampled_per_time(self):
+        # Two attempts in the same slot at different instants must be
+        # able to differ (retransmissions are not doomed).
+        trace = _trace(loss_prob=np.full((3, 10), 0.5))
+        outcomes = {trace.observe(1e-4 * k, 0).delivered
+                    for k in range(40)}
+        assert outcomes == {True, False}
+
+    def test_observation_reproducible(self):
+        trace = _trace(loss_prob=np.full((3, 10), 0.5))
+        a = trace.observe(0.00123, 1)
+        b = trace.observe(0.00123, 1)
+        assert a == b
+
+    def test_undetected_slot_never_delivers(self):
+        trace = _trace()
+        trace.detected[:] = False
+        obs = trace.observe(0.0, 0)
+        assert not obs.detected and not obs.delivered
+
+
+class TestBestRate:
+    def test_highest_delivered(self):
+        trace = _trace()
+        trace.delivered[:, 0] = [True, False, True]
+        assert trace.best_rate_at(0.0) == 2
+
+    def test_none_when_all_fail(self):
+        trace = _trace()
+        trace.delivered[:, 0] = False
+        assert trace.best_rate_at(0.0) is None
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = _trace(loss_prob=np.full((3, 10), 0.25))
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = LinkTrace.load(path)
+        assert loaded.slot_duration == trace.slot_duration
+        assert np.array_equal(loaded.delivered, trace.delivered)
+        assert np.allclose(loaded.ber_true, trace.ber_true)
+        assert np.allclose(loaded.loss_prob, trace.loss_prob)
+        assert loaded.rate_names == trace.rate_names

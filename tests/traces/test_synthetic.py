@@ -1,0 +1,49 @@
+"""Tests for synthetic traces."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import alternating_trace, constant_trace
+
+
+class TestConstantTrace:
+    def test_best_rate_everywhere(self):
+        trace = constant_trace(best_rate=3, duration=1.0)
+        for t in (0.0, 0.3, 0.9):
+            assert trace.best_rate_at(t) == 3
+
+    def test_delivery_structure(self):
+        trace = constant_trace(best_rate=2, duration=0.5)
+        assert trace.delivered[:3].all()
+        assert not trace.delivered[3:].any()
+
+    def test_ber_monotone(self):
+        trace = constant_trace(best_rate=3, duration=0.1)
+        col = trace.ber_true[:, 0]
+        assert np.all(np.diff(col) > 0)
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            constant_trace(best_rate=10)
+
+
+class TestAlternatingTrace:
+    def test_starts_bad_then_toggles(self):
+        trace = alternating_trace(good_rate=5, bad_rate=4, period=1.0,
+                                  duration=4.0)
+        assert trace.best_rate_at(0.5) == 4      # bad first
+        assert trace.best_rate_at(1.5) == 5
+        assert trace.best_rate_at(2.5) == 4
+        assert trace.best_rate_at(3.5) == 5
+
+    def test_snr_follows_state(self):
+        trace = alternating_trace(period=1.0, duration=2.0,
+                                  good_snr_db=25.0, bad_snr_db=20.0)
+        assert trace.observe(0.5, 0).snr_db == 20.0
+        assert trace.observe(1.5, 0).snr_db == 25.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alternating_trace(period=0.0)
+        with pytest.raises(ValueError):
+            alternating_trace(good_rate=9)
