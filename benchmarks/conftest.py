@@ -26,3 +26,15 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def run_experiment(benchmark, name, **overrides):
+    """Run a registered experiment once through the unified registry.
+
+    Returns the experiment's native result object (``.raw``), so the
+    benchmark's shape assertions read exactly as before the registry
+    existed.
+    """
+    from repro.experiments.api import run
+
+    return run_once(benchmark, run, name, **overrides).raw

@@ -6,14 +6,13 @@ BER swinging over many orders of magnitude with the fades.
 """
 
 import numpy as np
-from conftest import emit, run_once
+from conftest import emit, run_experiment
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig01_channel import run_fig1
 
 
 def test_fig1_channel_variation(benchmark):
-    data = run_once(benchmark, run_fig1, seed=1)
+    data = run_experiment(benchmark, "fig01", seed=1)
 
     half = data.window_snr_db.size // 2
     early = float(np.median(data.window_snr_db[:half]))

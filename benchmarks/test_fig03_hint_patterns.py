@@ -7,14 +7,13 @@ gradually and is not flagged.
 """
 
 import numpy as np
-from conftest import emit, run_once
+from conftest import emit, run_experiment
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig03_hints import run_fig3
 
 
 def test_fig3_hint_patterns(benchmark):
-    data = run_once(benchmark, run_fig3)
+    data = run_experiment(benchmark, "fig03")
 
     coll_steps = np.abs(np.diff(np.log10(np.clip(
         data.collision_profile, 1e-3, 0.5))))

@@ -6,14 +6,13 @@ separated by at least an order of magnitude within the usable band —
 the two observations SoftRate's prediction heuristic rests on.
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_experiment
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig05_crossrate import run_fig5
 
 
 def test_fig5_cross_rate_structure(benchmark):
-    data = run_once(benchmark, run_fig5, seed=5)
+    data = run_experiment(benchmark, "fig05", seed=5)
 
     rows = []
     for rate in sorted(data.pairs):

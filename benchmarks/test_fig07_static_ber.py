@@ -8,14 +8,14 @@ spreads widely (SNR is an unreliable predictor).
 """
 
 import numpy as np
-from conftest import emit, run_once
+from conftest import emit, run_experiment
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig07_static import run_fig7
 
 
 def test_fig7_static_ber_estimation(benchmark):
-    data = run_once(benchmark, run_fig7, seed=7, frames_per_point=4)
+    data = run_experiment(benchmark, "fig07", seed=7,
+                          frames_per_point=4)
 
     # Panel (a): per-frame estimate vs truth.
     panel_a = data.panel_a()

@@ -6,14 +6,13 @@ while the SNR-vs-truth curve shifts between the two speeds, which is
 why SNR protocols need per-environment retraining.
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_experiment
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig08_mobile import run_fig8
 
 
 def test_fig8_fig9_mobile_ber(benchmark):
-    data = run_once(benchmark, run_fig8, seed=8, n_frames=60)
+    data = run_experiment(benchmark, "fig08", seed=8, n_frames=60)
 
     rows = []
     for label in data.doppler_hz:

@@ -12,12 +12,12 @@ import numpy as np
 from conftest import emit, run_once
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig10_interference import (run_false_positives,
-                                                  run_fig10)
+from repro.experiments.api import run
+from repro.experiments.fig10_interference import run_false_positives
 
 
 def _run_all():
-    by_power, by_rate = run_fig10(seed=10, n_frames=25)
+    by_power, by_rate = run("fig10", seed=10, n_frames=25).raw
     fp_walk = run_false_positives(seed=11, n_frames=40,
                                   doppler_hz=40.0)
     return by_power, by_rate, fp_walk

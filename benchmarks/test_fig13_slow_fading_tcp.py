@@ -8,17 +8,16 @@ instantaneous SNR; and SoftRate picks the omniscient rate for the
 majority of frames (Fig. 14; paper >80%, we measure ~70%).
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_experiment
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig13_slow_fading import run_fig13
 
 CLIENTS = (1, 3, 5)
 
 
 def test_fig13_fig14_slow_fading(benchmark):
-    result = run_once(benchmark, run_fig13, client_counts=CLIENTS,
-                      duration=4.0, seeds=(1, 2))
+    result = run_experiment(benchmark, "fig13", client_counts=CLIENTS,
+                            duration=4.0, seeds=(1, 2))
 
     rows = [[name] + [f"{v:.2f}" for v in vals]
             for name, vals in result.throughput_mbps.items()]

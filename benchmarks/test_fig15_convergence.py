@@ -11,8 +11,7 @@ import numpy as np
 from conftest import emit, run_once
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig15_convergence import run_fig15
-from repro.rateadapt import Rraa, SampleRate, SoftRate
+from repro.experiments.api import run
 
 
 def _median_ms(values):
@@ -21,12 +20,10 @@ def _median_ms(values):
 
 def _run_all():
     results = {}
-    for name, factory in [
-        ("SoftRate", lambda rates, trace: SoftRate(rates)),
-        ("RRAA", lambda rates, trace: Rraa(rates)),
-        ("SampleRate", lambda rates, trace: SampleRate(rates)),
-    ]:
-        results[name] = run_fig15(factory)
+    for name, protocol in [("SoftRate", "softrate"),
+                           ("RRAA", "rraa"),
+                           ("SampleRate", "samplerate")]:
+        results[name] = run("fig15", protocol=protocol).raw
     return results
 
 

@@ -8,17 +8,17 @@ collapses as coherence time shrinks — up to ~4x below SoftRate at
 coherence-sensitive in the same catastrophic way.
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_experiment
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig16_fast_fading import run_fig16
 
 COHERENCE = (1e-3, 500e-6, 200e-6, 100e-6)
 
 
 def test_fig16_fast_fading(benchmark):
-    result = run_once(benchmark, run_fig16, coherence_times=COHERENCE,
-                      duration=3.0, seeds=(1,))
+    result = run_experiment(benchmark, "fig16",
+                            coherence_times=COHERENCE,
+                            duration=3.0, seeds=(1,))
 
     headers = ["algorithm"] + [f"{c * 1e6:.0f} us" for c in COHERENCE]
     rows = [[name] + [f"{v:.2f}" for v in vals]

@@ -8,17 +8,17 @@ present detector and does best with the ideal detector+postambles; and
 at Pr[CS] = 0.8 RRAA visibly underselects (Fig. 18).
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_experiment
 
 from repro.analysis.tables import format_table
-from repro.experiments.fig17_interference import run_fig17
 
 CS_PROBS = (0.0, 0.4, 0.8, 1.0)
 
 
 def test_fig17_fig18_interference(benchmark):
-    result = run_once(benchmark, run_fig17, cs_probabilities=CS_PROBS,
-                      duration=3.0, seeds=(1, 2))
+    result = run_experiment(benchmark, "fig17",
+                            cs_probabilities=CS_PROBS,
+                            duration=3.0, seeds=(1, 2))
 
     headers = ["algorithm"] + [f"cs={c}" for c in CS_PROBS]
     rows = [[name] + [f"{v:.2f}" for v in vals]

@@ -11,14 +11,12 @@ uncommon — the basis for SoftRate's 3-silent-loss rule.
 from conftest import emit, run_once
 
 from repro.analysis.tables import format_table
-from repro.experiments.tab01_silent import run_silent_loss_experiment
+from repro.experiments.api import run
 
 
 def _run_both():
-    equal = run_silent_loss_experiment(frame_bytes=(1400, 1400),
-                                       duration=4.0)
-    unequal = run_silent_loss_experiment(frame_bytes=(100, 1400),
-                                         duration=4.0)
+    equal = run("tab01", frame_bytes=(1400, 1400), duration=4.0).raw
+    unequal = run("tab01", frame_bytes=(100, 1400), duration=4.0).raw
     return equal, unequal
 
 

@@ -1,32 +1,19 @@
 """Tables 2 and 3: the rate table and the OFDM operating modes."""
 
-from conftest import emit, run_once
+from conftest import emit, run_experiment
 
-from repro.analysis.tables import format_table
 from repro.phy.rates import MODES, RATE_TABLE
 
 
-def _build_tables():
-    table2 = format_table(
-        ["Modulation", "Code Rate", "802.11 Rate", "Implemented?"],
-        [[r.modulation, str(r.code_rate), f"{r.mbps:g} Mbps",
-          "Yes" if r.in_prototype else "No"] for r in RATE_TABLE])
-    table3 = format_table(
-        ["Mode", "Bandwidth", "Tones", "T"],
-        [[m.name, f"{m.bandwidth_hz / 1e6:g} MHz", m.n_subcarriers,
-          f"{m.symbol_time * 1e6:g} us"] for m in MODES.values()])
-    return table2, table3
-
-
 def test_table2_and_table3(benchmark):
-    table2, table3 = run_once(benchmark, _build_tables)
-    emit("Table 2: rate table", table2)
-    emit("Table 3: operating modes", table3)
+    data = run_experiment(benchmark, "tab02")
+    rendered = data.render()
+    emit("Tables 2 & 3: rate table and operating modes", rendered)
 
     # Paper rows, verbatim.
-    assert "QPSK        3/4        18 Mbps      Yes" in table2.replace(
-        "  ", " ").replace("  ", " ") or "18 Mbps" in table2
-    assert len(RATE_TABLE) == 8
-    assert len(RATE_TABLE.prototype_subset()) == 6
+    assert "18 Mbps" in rendered
+    assert data.n_rates == len(RATE_TABLE) == 8
+    assert data.n_prototype == len(RATE_TABLE.prototype_subset()) == 6
+    assert data.max_mbps == 54.0
     assert MODES["simulation"].symbol_time == 8e-6
     assert MODES["long_range"].n_subcarriers == 1024

@@ -1,11 +1,14 @@
-"""Result analysis: binning, metrics, and table rendering."""
+"""Result analysis: binning, metrics, aggregation, table rendering."""
 
+from repro.analysis.aggregate import aggregate_metrics, metric_union
 from repro.analysis.binning import log_bin_ber, aggregate_bits_per_bin
 from repro.analysis.metrics import (RateAccuracy, rate_selection_accuracy,
                                     run_lengths)
 from repro.analysis.tables import format_table
 
 __all__ = [
+    "aggregate_metrics",
+    "metric_union",
     "log_bin_ber",
     "aggregate_bits_per_bin",
     "RateAccuracy",

@@ -1,0 +1,40 @@
+"""Aggregation of per-replicate scalar metrics.
+
+The experiment runner reduces each replicate (one seed of one
+scenario) to a flat ``{metric: float}`` dict; these helpers combine
+replicates into the aggregate row an :class:`ExperimentResult`
+reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["aggregate_metrics", "metric_union"]
+
+
+def metric_union(per_seed: Sequence[Mapping[str, float]]) -> List[str]:
+    """All metric keys across replicates, in first-seen order."""
+    seen: Dict[str, None] = {}
+    for metrics in per_seed:
+        for key in metrics:
+            seen.setdefault(key, None)
+    return list(seen)
+
+
+def aggregate_metrics(per_seed: Sequence[Mapping[str, float]]
+                      ) -> Dict[str, float]:
+    """Mean of each metric across replicates, ignoring NaNs.
+
+    A metric missing from a replicate (or NaN there) is excluded from
+    that metric's mean; a metric with no finite observations at all
+    aggregates to NaN so its absence stays visible in reports.
+    """
+    out: Dict[str, float] = {}
+    for key in metric_union(per_seed):
+        values = [float(m[key]) for m in per_seed
+                  if key in m and not math.isnan(float(m[key]))]
+        out[key] = (sum(values) / len(values)) if values \
+            else float("nan")
+    return out

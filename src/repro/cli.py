@@ -11,32 +11,106 @@ Commands:
   for a frame size / recovery model / separation factor.
 * ``simulate`` — run a TCP uplink simulation over generated traces
   with a chosen rate adaptation protocol.
+* ``list`` — enumerate the registered paper experiments.
+* ``run`` — run one registered experiment (``--set key=val``
+  overrides, ``--jobs N`` parallelism, ``--seeds``/``--replicates``
+  fan-out, cached results, JSON/npz output).
+* ``sweep`` — run one experiment across a parameter sweep.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.phy.rates import MODES, RATE_TABLE
+from repro.phy.rates import RATE_TABLE
 
 __all__ = ["main"]
 
+#: Mirrors ``repro.experiments.common.PROTOCOL_NAMES`` (kept literal
+#: so building the parser doesn't import the simulation stack; a test
+#: asserts the two stay in sync).
+_PROTOCOL_CHOICES = ("softrate", "samplerate", "rraa", "snr", "charm",
+                     "snr-untrained", "omniscient")
+
+
+def _parse_value(text: str) -> Any:
+    """``--set``/``--values`` literal: python literal, else string."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--set expects KEY=VALUE, got {pair!r}")
+        overrides[key] = _parse_value(value)
+    return overrides
+
+
+def _split_top_level(text: str) -> List[str]:
+    """Split on commas outside brackets/parens, so one comma-bearing
+    literal (``(100,1400)``) stays one piece."""
+    pieces, depth, current = [], 0, []
+    for char in text:
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    pieces.append("".join(current))
+    return [p.strip() for p in pieces if p.strip()]
+
+
+def _parse_values(text: str) -> List[Any]:
+    """Sweep values: one per top-level comma, each parsed as a python
+    literal when possible (``--values 1,2`` -> two ints; ``--values
+    "(100,1400)"`` -> one tuple; ``--values "(1,),(2,)"`` -> two
+    tuples; ``--values softrate,rraa`` -> two strings)."""
+    return [_parse_value(v) for v in _split_top_level(text)]
+
+
+def _parse_seeds(args) -> Optional[List[int]]:
+    from repro.experiments.api import derive_seeds
+
+    if args.seeds:
+        return [int(s) for s in args.seeds.split(",") if s]
+    if args.replicates:
+        return derive_seeds(args.base_seed, args.replicates)
+    return None
+
+
+def _print_result(result) -> None:
+    origin = "cache" if result.cached else \
+        f"{result.elapsed_s:.2f} s"
+    seeds = "-" if result.seeds == [None] else \
+        ",".join(str(s) for s in result.seeds)
+    print(f"{result.experiment} [{result.cache_key}] "
+          f"seeds={seeds} ({origin})")
+    rows = [[key, f"{value:.6g}"]
+            for key, value in sorted(result.aggregates.items())]
+    if rows:
+        print(format_table(["metric", "mean"], rows))
+
 
 def _cmd_rates(_args) -> int:
-    rows = [[r.modulation, str(r.code_rate), f"{r.mbps:g} Mbps",
-             "Yes" if r.in_prototype else "No"] for r in RATE_TABLE]
-    print(format_table(["Modulation", "Code Rate", "802.11 Rate",
-                        "Implemented"], rows))
-    print()
-    rows = [[m.name, f"{m.bandwidth_hz / 1e6:g} MHz", m.n_subcarriers,
-             f"{m.symbol_time * 1e6:g} us"] for m in MODES.values()]
-    print(format_table(["Mode", "Bandwidth", "Tones", "Symbol time"],
-                       rows))
+    from repro.experiments.tab02_rates import run_tab02
+
+    print(run_tab02().render())
     return 0
 
 
@@ -98,24 +172,14 @@ def _cmd_thresholds(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from repro.experiments.common import (omniscient_factory,
-                                          rraa_factory,
-                                          samplerate_factory,
-                                          snr_trained_factory,
-                                          softrate_factory)
+    from repro.experiments.common import protocol_factory
     from repro.sim.topology import run_tcp_uplink
     from repro.traces.workloads import walking_traces
 
     uplinks = walking_traces(args.clients, seed=args.seed)
     downlinks = walking_traces(args.clients, seed=args.seed + 50)
-    factories = {
-        "softrate": softrate_factory,
-        "samplerate": samplerate_factory,
-        "rraa": rraa_factory,
-        "snr": snr_trained_factory(uplinks[0]),
-        "omniscient": omniscient_factory,
-    }
-    factory = factories[args.protocol]
+    factory = protocol_factory(args.protocol,
+                               training_trace=uplinks[0])
     result = run_tcp_uplink(uplinks, downlinks, factory,
                             n_clients=args.clients,
                             duration=args.duration, seed=args.seed)
@@ -125,6 +189,95 @@ def _cmd_simulate(args) -> int:
     for flow, mbps in enumerate(result.per_flow_mbps):
         print(f"  flow {flow}: {mbps:.2f} Mbps")
     return 0
+
+
+def _cmd_list(_args) -> int:
+    from repro.experiments.api import list_experiments
+
+    rows = []
+    for spec in list_experiments():
+        rows.append([spec.name, spec.description,
+                     ",".join(sorted(spec.params)) or "-",
+                     ",".join(spec.algorithms) or "-"])
+    print(format_table(["experiment", "description", "parameters",
+                        "algorithms"], rows))
+    print(f"\n{len(rows)} experiments registered")
+    return 0
+
+
+def _invoke_runner(args, call):
+    """Build a Runner from CLI args and run ``call(runner)``, mapping
+    registry errors to the (exit-2, message-on-stderr) contract.
+
+    Returns ``(outcome, None)`` on success or ``(None, exit_code)``.
+    """
+    from repro.experiments.api import (Runner, UnknownExperimentError,
+                                       UnknownParameterError)
+
+    runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir,
+                    use_cache=not args.no_cache)
+    try:
+        return call(runner), None
+    except UnknownExperimentError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return None, 2
+    except (ValueError, UnknownParameterError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _cmd_run(args) -> int:
+    result, code = _invoke_runner(
+        args, lambda runner: runner.run(
+            args.experiment, _parse_overrides(args.overrides),
+            seeds=_parse_seeds(args)))
+    if result is None:
+        return code
+    _print_result(result)
+    if args.output:
+        result.save(args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    results, code = _invoke_runner(
+        args, lambda runner: runner.sweep(
+            args.experiment, args.param, _parse_values(args.values),
+            _parse_overrides(args.overrides),
+            seeds=_parse_seeds(args)))
+    if results is None:
+        return code
+    metrics = sorted({k for r in results for k in r.aggregates})
+    rows = [[f"{args.param}={r.params[args.param]!r}"]
+            + [f"{r.aggregates.get(m, float('nan')):.6g}"
+               for m in metrics] for r in results]
+    print(format_table([args.param] + metrics, rows))
+    if args.output:
+        import json
+        with open(args.output, "w") as fh:
+            json.dump([r.to_dict() for r in results], fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _add_runner_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--set", action="append", dest="overrides",
+                   default=[], metavar="KEY=VALUE",
+                   help="override a declared experiment parameter")
+    p.add_argument("--seeds", help="comma-separated replicate seeds")
+    p.add_argument("--replicates", type=int,
+                   help="derive N deterministic replicate seeds")
+    p.add_argument("--base-seed", type=int, default=0,
+                   help="base for --replicates seed derivation")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the replicate/sweep fan")
+    p.add_argument("--output", help="write result (.json or .npz)")
+    p.add_argument("--cache-dir", default=".repro-cache")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the result cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,12 +312,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--separation", type=float, default=10.0)
 
     p = sub.add_parser("simulate", help="run a TCP uplink simulation")
-    p.add_argument("--protocol",
-                   choices=["softrate", "samplerate", "rraa", "snr",
-                            "omniscient"], default="softrate")
+    p.add_argument("--protocol", choices=list(_PROTOCOL_CHOICES),
+                   default="softrate")
     p.add_argument("--clients", type=int, default=1)
     p.add_argument("--duration", type=float, default=5.0)
     p.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="enumerate registered experiments")
+
+    p = sub.add_parser("run", help="run a registered experiment")
+    p.add_argument("experiment", help="experiment name (see `list`)")
+    _add_runner_options(p)
+
+    p = sub.add_parser("sweep",
+                       help="run an experiment across a parameter sweep")
+    p.add_argument("experiment", help="experiment name (see `list`)")
+    p.add_argument("--param", required=True,
+                   help="name of the parameter to sweep")
+    p.add_argument("--values", required=True,
+                   help="comma-separated sweep values")
+    _add_runner_options(p)
     return parser
 
 
@@ -174,6 +341,9 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "thresholds": _cmd_thresholds,
     "simulate": _cmd_simulate,
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -1,7 +1,36 @@
 """Reproductions of every table and figure in the paper's evaluation.
 
-One module per experiment; each exposes a ``run_*`` function returning
-plain data structures that the corresponding benchmark prints and
-sanity-checks.  The module mapping is recorded in DESIGN.md's
-experiment index and EXPERIMENTS.md's results log.
+One module per experiment.  Each module keeps its historical ``run_*``
+entry point and registers a declarative :class:`ExperimentSpec` with
+the unified experiment API (:mod:`repro.experiments.api`), so the same
+code is reachable three ways::
+
+    from repro.experiments.fig13_slow_fading import run_fig13
+    run_fig13(duration=2.0)                    # historical wrapper
+
+    from repro.experiments import run
+    run("fig13", duration=2.0).raw             # registry-mediated
+
+    python -m repro run fig13 --set duration=2.0   # CLI
+
+``Runner`` adds seed fan-out over processes, sweeps, and content-hash
+result caching on top.
 """
+
+from repro.experiments.api import (ExperimentResult, ExperimentSpec,
+                                   Runner, Scenario, experiment_names,
+                                   get_experiment, list_experiments,
+                                   load_all, register_experiment, run)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Runner",
+    "Scenario",
+    "experiment_names",
+    "get_experiment",
+    "list_experiments",
+    "load_all",
+    "register_experiment",
+    "run",
+]

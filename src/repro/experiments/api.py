@@ -1,0 +1,532 @@
+"""Unified experiment API: specs, a registry, and a parallel runner.
+
+Every paper reproduction (``figXX``/``tabXX`` module) declares itself
+with :func:`register_experiment`, providing a declarative
+:class:`ExperimentSpec` — name, description, parameter space with
+defaults, trace requirements, and the algorithms involved.  A concrete
+parameterization is a :class:`Scenario`; executing one (or a fan of
+seed replicates / sweep points) through :class:`Runner` yields a
+uniform :class:`ExperimentResult` that serializes to JSON or ``.npz``
+and caches under a content hash.
+
+Entry points::
+
+    from repro.experiments.api import run, Runner, list_experiments
+
+    run("fig13")                        # defaults, in-process
+    run("fig13", duration=2.0)          # validated overrides
+    Runner(jobs=4).run("fig13", seeds=[1, 2, 3, 4])   # parallel fan
+
+The CLI (``repro list`` / ``repro run`` / ``repro sweep``) is a thin
+shell over the same calls.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, List, Mapping,
+                    Optional, Sequence, Tuple)
+
+import numpy as np
+
+from repro.analysis.aggregate import aggregate_metrics
+
+__all__ = ["ExperimentSpec", "Scenario", "ExperimentResult", "Runner",
+           "register_experiment", "get_experiment", "experiment_names",
+           "list_experiments", "load_all", "run", "derive_seeds",
+           "UnknownParameterError", "UnknownExperimentError"]
+
+#: Bump to invalidate previously cached results on disk.
+CACHE_VERSION = 1
+
+#: Modules that self-register an experiment on import; ``load_all``
+#: imports them so the registry is complete in any process.
+_EXPERIMENT_MODULES = (
+    "fig01_channel", "fig03_hints", "fig05_crossrate", "fig07_static",
+    "fig08_mobile", "fig10_interference", "fig13_slow_fading",
+    "fig15_convergence", "fig16_fast_fading", "fig17_interference",
+    "tab01_silent", "tab02_rates",
+)
+
+
+class UnknownParameterError(ValueError):
+    """An override names a parameter the spec does not declare."""
+
+
+class UnknownExperimentError(KeyError):
+    """The requested name is not in the experiment registry."""
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a parameter value to a JSON-stable representation.
+
+    Non-finite floats become ``null`` so the output is strict JSON
+    (``json.dumps`` would otherwise emit the non-standard ``NaN``).
+    """
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(value[k]) for k in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, np.generic):
+        return _canonical(value.item())
+    if isinstance(value, np.ndarray):
+        return [_canonical(v) for v in value.tolist()]
+    if isinstance(value, float) and not np.isfinite(value):
+        return None if np.isnan(value) else \
+            ("inf" if value > 0 else "-inf")
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def _decode_metrics(data: Mapping[str, Any]) -> Dict[str, float]:
+    """Invert ``_canonical`` for a metric dict (``null`` -> NaN,
+    ``"inf"``/``"-inf"`` -> infinities)."""
+    return {str(k): float("nan") if v is None else float(v)
+            for k, v in data.items()}
+
+
+def _canonical_json(value: Any) -> str:
+    return json.dumps(_canonical(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one reproducible experiment.
+
+    ``params`` is the parameter space: every overridable knob with its
+    default value.  ``run()``/``Runner`` reject overrides outside this
+    space, so a spec doubles as the experiment's public schema.
+    """
+
+    name: str
+    description: str
+    fn: Callable[..., Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    traces: Tuple[str, ...] = ()
+    algorithms: Tuple[str, ...] = ()
+    #: Name of the parameter that seeds the experiment's RNG (``None``
+    #: for deterministic experiments).  When the runner fans seed
+    #: replicates, it rewrites this parameter per replicate; a
+    #: tuple-valued default (e.g. fig13's ``seeds=(1, 2)``) receives a
+    #: one-element tuple instead of a scalar.
+    seed_param: Optional[str] = "seed"
+    metrics: Optional[Callable[[Any], Dict[str, float]]] = None
+
+    def scenario(self, overrides: Optional[Mapping[str, Any]] = None
+                 ) -> "Scenario":
+        """Validate ``overrides`` and bind a concrete parameterization."""
+        overrides = dict(overrides or {})
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            raise UnknownParameterError(
+                f"{self.name}: unknown parameter(s) {unknown}; "
+                f"declared: {sorted(self.params)}")
+        merged = dict(self.params)
+        merged.update(overrides)
+        return Scenario(experiment=self.name, params=merged)
+
+    def extract_metrics(self, raw: Any) -> Dict[str, float]:
+        """Flatten a raw result into scalar metrics for aggregation."""
+        if self.metrics is not None:
+            return {str(k): float(v)
+                    for k, v in self.metrics(raw).items()}
+        if isinstance(raw, Mapping):
+            return {str(k): float(v) for k, v in raw.items()
+                    if isinstance(v, (int, float, np.generic))}
+        return {}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One concrete parameterization of a registered experiment."""
+
+    experiment: str
+    params: Dict[str, Any]
+
+    def content_hash(self) -> str:
+        """Stable digest of (experiment, params, cache version)."""
+        payload = (f"v{CACHE_VERSION}:{self.experiment}:"
+                   f"{_canonical_json(self.params)}")
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def with_seed(self, seed: Any) -> "Scenario":
+        """Rewrite the spec's seed parameter for one replicate."""
+        spec = get_experiment(self.experiment)
+        if spec.seed_param is None:
+            return self
+        params = dict(self.params)
+        default = spec.params.get(spec.seed_param)
+        if isinstance(default, (list, tuple)):
+            params[spec.seed_param] = (seed,)
+        else:
+            params[spec.seed_param] = seed
+        return Scenario(experiment=self.experiment, params=params)
+
+    def execute(self) -> Any:
+        """Run the experiment function in-process; return its raw result."""
+        spec = get_experiment(self.experiment)
+        return spec.fn(**self.params)
+
+
+# --------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(name: str, *, description: str = "",
+                        params: Optional[Mapping[str, Any]] = None,
+                        traces: Sequence[str] = (),
+                        algorithms: Sequence[str] = (),
+                        seed_param: Optional[str] = "seed",
+                        metrics: Optional[Callable] = None
+                        ) -> Callable[[Callable], Callable]:
+    """Class the decorated function as experiment ``name``.
+
+    The function is returned unchanged, so modules keep exporting
+    their historical ``run_*`` entry points; the registry simply makes
+    the same callable reachable as ``run(name, **overrides)``.
+    """
+    def decorate(fn: Callable) -> Callable:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.fn is not fn:
+            raise ValueError(
+                f"experiment {name!r} already registered "
+                f"by {existing.fn.__module__}")
+        _REGISTRY[name] = ExperimentSpec(
+            name=name, description=description, fn=fn,
+            params=dict(params or {}), traces=tuple(traces),
+            algorithms=tuple(algorithms), seed_param=seed_param,
+            metrics=metrics)
+        return fn
+    return decorate
+
+
+def load_all() -> None:
+    """Import every experiment module so the registry is complete."""
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(f"repro.experiments.{module}")
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a registered spec, importing modules on first use."""
+    if name not in _REGISTRY:
+        load_all()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownExperimentError(
+            f"unknown experiment {name!r}; available: "
+            f"{experiment_names()}") from None
+
+
+def experiment_names() -> List[str]:
+    load_all()
+    return sorted(_REGISTRY)
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    return [_REGISTRY[name] for name in experiment_names()]
+
+
+# --------------------------------------------------------------------
+# Results
+# --------------------------------------------------------------------
+
+@dataclass
+class ExperimentResult:
+    """Uniform record of one experiment run (possibly seed-fanned).
+
+    ``per_seed`` holds one flat metric dict per replicate;
+    ``aggregates`` is their nan-aware mean.  ``raw`` is the last
+    replicate's native result object (kept only for in-process serial
+    runs; never serialized).
+    """
+
+    experiment: str
+    params: Dict[str, Any]
+    seeds: List[Any]
+    per_seed: List[Dict[str, float]]
+    aggregates: Dict[str, float]
+    cache_key: str
+    elapsed_s: float = 0.0
+    cached: bool = field(default=False, compare=False)
+    raw: Any = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "params": _canonical(self.params),
+            "seeds": _canonical(self.seeds),
+            "per_seed": _canonical(self.per_seed),
+            "aggregates": _canonical(self.aggregates),
+            "cache_key": self.cache_key,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        return cls(experiment=data["experiment"],
+                   params=dict(data["params"]),
+                   seeds=list(data["seeds"]),
+                   per_seed=[_decode_metrics(d)
+                             for d in data["per_seed"]],
+                   aggregates=_decode_metrics(data["aggregates"]),
+                   cache_key=data["cache_key"],
+                   elapsed_s=float(data.get("elapsed_s", 0.0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the result as ``.json`` or ``.npz`` (by extension)."""
+        if path.endswith(".npz"):
+            self.save_npz(path)
+        else:
+            with open(path, "w") as fh:
+                fh.write(self.to_json())
+                fh.write("\n")
+
+    def save_npz(self, path: str) -> None:
+        arrays: Dict[str, np.ndarray] = {
+            "metadata": np.array(self.to_json(indent=None))}
+        keys = sorted({k for d in self.per_seed for k in d})
+        for key in keys:
+            arrays[f"per_seed/{key}"] = np.array(
+                [d.get(key, np.nan) for d in self.per_seed], dtype=float)
+        for key, value in self.aggregates.items():
+            arrays[f"aggregate/{key}"] = np.array(float(value))
+        np.savez(path, **arrays)
+
+
+def derive_seeds(base_seed: int, n: int) -> List[int]:
+    """``n`` deterministic, well-separated seeds from ``base_seed``."""
+    state = np.random.SeedSequence(base_seed).generate_state(n)
+    return [int(s) for s in state]
+
+
+# --------------------------------------------------------------------
+# Runner
+# --------------------------------------------------------------------
+
+def _pool_worker(task: Tuple[str, str, Dict[str, Any]]
+                 ) -> Dict[str, float]:
+    """Execute one scenario point in a worker process.
+
+    ``module`` is the module that registered the experiment: under a
+    ``spawn`` start method the child registry starts empty, and
+    importing that module re-registers experiments that live outside
+    the built-in ``_EXPERIMENT_MODULES`` list.
+    """
+    name, module, params = task
+    load_all()
+    if name not in _REGISTRY:
+        importlib.import_module(module)
+    spec = _REGISTRY[name]
+    return spec.extract_metrics(spec.fn(**params))
+
+
+def _recorded_params(spec: ExperimentSpec, base: Scenario,
+                     seed_list: Optional[Sequence[Any]]
+                     ) -> Dict[str, Any]:
+    """Params to record on a result: on a seed-fanned run the spec's
+    seed parameter was rewritten per replicate, so its base value is
+    dropped — the ``seeds`` field is the authoritative record."""
+    params = dict(base.params)
+    if seed_list and spec.seed_param is not None:
+        params.pop(spec.seed_param, None)
+    return params
+
+
+class Runner:
+    """Fans scenarios over processes, with content-hash result caching.
+
+    Args:
+        jobs: worker processes (1 = run serially in-process, keeping
+            the raw result object on the returned record).
+        cache_dir: directory for cached result JSON (created lazily).
+        use_cache: read/write the cache; disable for benchmarking.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: str = ".repro-cache",
+                 use_cache: bool = True):
+        self.jobs = max(int(jobs), 1)
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+
+    # -- caching ------------------------------------------------------
+
+    def _cache_path(self, name: str, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{name}-{key}.json")
+
+    def _cache_load(self, name: str, key: str
+                    ) -> Optional[ExperimentResult]:
+        if not self.use_cache:
+            return None
+        path = self._cache_path(name, key)
+        try:
+            with open(path) as fh:
+                result = ExperimentResult.from_json(fh.read())
+        except (OSError, ValueError, KeyError):
+            return None
+        result.cached = True
+        return result
+
+    def _cache_store(self, result: ExperimentResult) -> None:
+        if not self.use_cache:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._cache_path(result.experiment, result.cache_key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            fh.write(result.to_json())
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    # -- execution ----------------------------------------------------
+
+    @staticmethod
+    def _run_key(base: Scenario, seeds: Optional[Sequence[Any]]) -> str:
+        payload = _canonical_json({"scenario": base.params,
+                                   "seeds": list(seeds or [])})
+        return hashlib.sha256(
+            f"{base.content_hash()}:{payload}".encode()).hexdigest()[:16]
+
+    def _execute(self, name: str, points: List[Scenario]
+                 ) -> Tuple[List[Dict[str, float]], Any]:
+        spec = get_experiment(name)
+        if self.jobs > 1 and len(points) > 0:
+            tasks = [(name, spec.fn.__module__, p.params)
+                     for p in points]
+            workers = min(self.jobs, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                metrics = list(pool.map(_pool_worker, tasks,
+                                        chunksize=1))
+            return metrics, None
+        metrics, raw = [], None
+        for point in points:
+            raw = point.execute()
+            metrics.append(spec.extract_metrics(raw))
+        return metrics, raw
+
+    def run(self, name: str,
+            overrides: Optional[Mapping[str, Any]] = None,
+            seeds: Optional[Sequence[Any]] = None) -> ExperimentResult:
+        """Run one experiment, optionally fanned over ``seeds``.
+
+        Without ``seeds`` the experiment runs once with its declared
+        defaults plus ``overrides``; with ``seeds`` one replicate runs
+        per entry, each with the spec's seed parameter rewritten
+        deterministically, and ``aggregates`` averages the replicates.
+        """
+        spec = get_experiment(name)
+        base = spec.scenario(overrides)
+        seed_list = list(seeds) if seeds is not None else None
+        if seed_list and spec.seed_param is None:
+            raise ValueError(
+                f"{name} is deterministic (no seed parameter); "
+                "seed replication would repeat identical runs")
+        key = self._run_key(base, seed_list)
+        hit = self._cache_load(name, key)
+        if hit is not None:
+            return hit
+
+        if seed_list:
+            points = [base.with_seed(s) for s in seed_list]
+        else:
+            points = [base]
+        start = time.perf_counter()
+        per_seed, raw = self._execute(name, points)
+        elapsed = time.perf_counter() - start
+        result = ExperimentResult(
+            experiment=name,
+            params=_recorded_params(spec, base, seed_list),
+            seeds=seed_list if seed_list else [None],
+            per_seed=per_seed,
+            aggregates=aggregate_metrics(per_seed),
+            cache_key=key, elapsed_s=elapsed, raw=raw)
+        self._cache_store(result)
+        return result
+
+    def sweep(self, name: str, param: str, values: Iterable[Any],
+              overrides: Optional[Mapping[str, Any]] = None,
+              seeds: Optional[Sequence[Any]] = None
+              ) -> List[ExperimentResult]:
+        """Run one experiment across a parameter sweep.
+
+        Each sweep point is an independent cached run; uncached points
+        (all their seed replicates) share one process pool, so a cold
+        ``--jobs N`` sweep keeps N workers busy across the whole
+        point x seed grid.
+        """
+        spec = get_experiment(name)
+        values = list(values)
+        seed_list = list(seeds) if seeds is not None else None
+        if seed_list and spec.seed_param is None:
+            raise ValueError(
+                f"{name} is deterministic (no seed parameter); "
+                "seed replication would repeat identical runs")
+        if seed_list and param == spec.seed_param:
+            raise ValueError(
+                f"cannot sweep {param!r} while fanning seeds: the "
+                "replicate fan rewrites that parameter per seed")
+        runs: List[Optional[ExperimentResult]] = []
+        pending: List[Tuple[int, Scenario, str, List[Scenario]]] = []
+        for value in values:
+            merged = dict(overrides or {})
+            merged[param] = value
+            base = spec.scenario(merged)
+            key = self._run_key(base, seed_list)
+            hit = self._cache_load(name, key)
+            runs.append(hit)
+            if hit is None:
+                points = ([base.with_seed(s) for s in seed_list]
+                          if seed_list else [base])
+                pending.append((len(runs) - 1, base, key, points))
+
+        if pending:
+            flat = [(index, point) for index, _b, _k, points in pending
+                    for point in points]
+            start = time.perf_counter()
+            all_metrics, _raw = self._execute(
+                name, [point for _i, point in flat])
+            elapsed = time.perf_counter() - start
+            by_index: Dict[int, List[Dict[str, float]]] = {}
+            for (index, _point), metrics in zip(flat, all_metrics):
+                by_index.setdefault(index, []).append(metrics)
+            share = elapsed / max(len(pending), 1)
+            for index, base, key, _points in pending:
+                per_seed = by_index[index]
+                result = ExperimentResult(
+                    experiment=name,
+                    params=_recorded_params(spec, base, seed_list),
+                    seeds=seed_list if seed_list else [None],
+                    per_seed=per_seed,
+                    aggregates=aggregate_metrics(per_seed),
+                    cache_key=key, elapsed_s=share)
+                self._cache_store(result)
+                runs[index] = result
+        return [r for r in runs if r is not None]
+
+
+def run(name: str, **overrides: Any) -> ExperimentResult:
+    """Run one experiment in-process with defaults plus ``overrides``.
+
+    The returned record keeps the experiment's native result object on
+    ``.raw`` — this is the registry-mediated path the historical
+    ``run_figXX`` wrappers and the benchmark suite go through.
+    """
+    return Runner(jobs=1, use_cache=False).run(name, overrides)

@@ -29,10 +29,12 @@ from repro.traces.format import LinkTrace
 __all__ = ["CALIBRATED_SEPARATION", "PAYLOAD_BITS", "softrate_factory",
            "omniscient_factory", "samplerate_factory", "rraa_factory",
            "snr_trained_factory", "charm_factory", "snr_untrained_factory",
-           "standard_algorithms", "averaged_tcp_throughput"]
+           "standard_algorithms", "averaged_tcp_throughput",
+           "PROTOCOL_NAMES", "protocol_factory"]
 
-#: Cross-rate BER separation of the simulated channel (decades^1000);
-#: see module docstring.
+#: Cross-rate BER separation factor of the simulated channel: adjacent
+#: rates sit ~3 decades apart here (vs the paper's ~1 decade on USRP
+#: hardware), so the factor is 10^3 = 1000; see module docstring.
 CALIBRATED_SEPARATION = 1000.0
 
 #: 1400-byte TCP segments (paper section 6.1).
@@ -97,6 +99,44 @@ def snr_untrained_factory(rates_for_thresholds: Optional[RateTable] = None
         return SnrBasedAdapter(rates, thresholds)
 
     return build
+
+
+#: Every protocol reachable by name — the single mapping behind both
+#: ``repro simulate --protocol`` and the experiment registry.
+PROTOCOL_NAMES = ("softrate", "samplerate", "rraa", "snr", "charm",
+                  "snr-untrained", "omniscient")
+
+#: Protocols whose thresholds must be trained on a link trace before
+#: the factory can be built.
+_TRAINED_PROTOCOLS = ("snr", "charm")
+
+
+def protocol_factory(name: str,
+                     training_trace: Optional[LinkTrace] = None
+                     ) -> Callable:
+    """Resolve a protocol name to an ``(rates, trace) -> adapter`` factory.
+
+    ``snr`` and ``charm`` require ``training_trace`` (their thresholds
+    are trained, section 6.2); the others ignore it.
+    """
+    if name in _TRAINED_PROTOCOLS:
+        if training_trace is None:
+            raise ValueError(
+                f"protocol {name!r} needs a training trace")
+        return (snr_trained_factory(training_trace) if name == "snr"
+                else charm_factory(training_trace))
+    simple = {
+        "softrate": softrate_factory,
+        "samplerate": samplerate_factory,
+        "rraa": rraa_factory,
+        "omniscient": omniscient_factory,
+    }
+    if name in simple:
+        return simple[name]
+    if name == "snr-untrained":
+        return snr_untrained_factory()
+    raise ValueError(f"unknown protocol {name!r}; "
+                     f"available: {list(PROTOCOL_NAMES)}")
 
 
 def standard_algorithms(training_trace: LinkTrace) -> List[tuple]:

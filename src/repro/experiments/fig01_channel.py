@@ -13,6 +13,7 @@ from typing import List
 import numpy as np
 
 from repro.channel.mobility import WalkingTrajectory
+from repro.experiments.api import register_experiment
 from repro.phy.rates import RATE_TABLE
 from repro.phy.snr import db_to_linear
 from repro.traces.analytic import coded_ber
@@ -52,13 +53,33 @@ class Fig1Data:
         return runs
 
 
-def run_fig1(seed: int = 1, detail_start: float = 4.0) -> Fig1Data:
+def _metrics(data: Fig1Data) -> dict:
+    fades = data.fade_durations_ms()
+    ber_floor = max(float(data.ber.min()), 1e-12)
+    return {
+        "fade_depth_db": data.fade_depth_db(),
+        "num_fades": float(len(fades)),
+        "median_fade_ms": float(np.median(fades)) if fades
+        else float("nan"),
+        "ber_dynamic_range_decades": float(
+            np.log10(max(float(data.ber.max()), 1e-12) / ber_floor)),
+    }
+
+
+@register_experiment(
+    "fig01",
+    description="SNR/BER fluctuation over a walking fading channel",
+    params={"seed": 1, "detail_start": 4.0, "duration": 10.0},
+    traces=("walking",), algorithms=(), metrics=_metrics)
+def run_fig1(seed: int = 1, detail_start: float = 4.0,
+             duration: float = 10.0) -> Fig1Data:
     """Generate the Fig. 1 panels from one walking trajectory."""
     rng = np.random.default_rng(seed)
     trajectory = WalkingTrajectory(rng, start_distance=5.0)
     bpsk_half = RATE_TABLE.prototype_subset()[0]
 
-    window_times = np.linspace(0.0, 10.0, 2000)
+    window_times = np.linspace(0.0, duration,
+                               max(int(200 * duration), 2))
     window_snr = np.array([trajectory.instantaneous_snr_db(t)
                            for t in window_times])
 

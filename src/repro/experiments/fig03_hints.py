@@ -22,6 +22,7 @@ from repro.channel.interference import overlay_interference
 from repro.channel.rayleigh import RayleighFadingProcess
 from repro.core.hints import symbol_ber_profile
 from repro.core.interference import InterferenceDetector
+from repro.experiments.api import register_experiment
 from repro.phy.snr import db_to_linear
 from repro.phy.transceiver import Transceiver
 
@@ -43,6 +44,23 @@ class Fig3Data:
     fading_detected: bool
 
 
+def _metrics(data: Fig3Data) -> dict:
+    return {
+        "collision_detected": float(data.collision_detected),
+        "fading_detected": float(data.fading_detected),
+        "collision_boundary_symbol": float(
+            data.collision_boundary_symbol),
+        "collision_errors": float(data.collision_errors.sum()),
+        "fading_errors": float(data.fading_errors.sum()),
+    }
+
+
+@register_experiment(
+    "fig03",
+    description="SoftPHY hint patterns: collision vs fading losses",
+    params={"seed": 3, "payload_bits": 12800, "snr_db": 11.0,
+            "rate_index": 3, "fade_doppler_hz": 300.0},
+    traces=(), algorithms=(), metrics=_metrics)
 def run_fig3(seed: int = 3, payload_bits: int = 12800,
              snr_db: float = 11.0, rate_index: int = 3,
              fade_doppler_hz: float = 300.0) -> Fig3Data:

@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.channel.mobility import WalkingTrajectory
+from repro.experiments.api import register_experiment
 from repro.traces.format import LinkTrace
 from repro.traces.generate import generate_fading_trace
 
@@ -63,6 +64,21 @@ class Fig5Data:
         return float(np.median(ratio))
 
 
+def _metrics(data: Fig5Data) -> dict:
+    out = {"monotone_fraction": data.monotone_fraction()}
+    for rate in sorted(data.pairs):
+        if rate == _REFERENCE_RATE:
+            continue
+        out[f"separation_decades/{data.rate_names[rate]}"] = \
+            data.median_separation_decades(rate)
+    return out
+
+
+@register_experiment(
+    "fig05",
+    description="Cross-rate BER monotonicity and separation",
+    params={"seed": 5, "duration": 10.0},
+    traces=("walking",), algorithms=(), metrics=_metrics)
 def run_fig5(seed: int = 5, duration: float = 10.0,
              trace: LinkTrace = None) -> Fig5Data:
     """Collect cross-rate BER pairs from a walking trace."""

@@ -22,6 +22,7 @@ from repro.analysis.binning import (BinnedBer, aggregate_bits_per_bin,
                                     log_bin_ber)
 from repro.channel.awgn import apply_channel
 from repro.core.hints import frame_ber_estimate
+from repro.experiments.api import register_experiment
 from repro.phy.snr import db_to_linear
 from repro.phy.transceiver import Transceiver
 
@@ -76,6 +77,19 @@ class Fig7Data:
         return float(np.median(err))
 
 
+def _metrics(data: Fig7Data) -> dict:
+    return {
+        "estimator_error_decades": data.estimator_error_decades(),
+        "n_frames": float(data.truths.size),
+        "errored_fraction": float((data.truths > 0).mean()),
+    }
+
+
+@register_experiment(
+    "fig07",
+    description="SoftPHY vs SNR BER estimation on a static channel",
+    params={"seed": 7, "payload_bits": 1600, "frames_per_point": 4},
+    traces=(), algorithms=(), metrics=_metrics)
 def run_fig7(seed: int = 7, payload_bits: int = 1600,
              frames_per_point: int = 4,
              snr_grid_db: np.ndarray = None,

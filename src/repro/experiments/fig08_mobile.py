@@ -22,6 +22,7 @@ from repro.analysis.binning import BinnedBer, log_bin_ber
 from repro.channel.awgn import apply_channel
 from repro.channel.rayleigh import RayleighFadingProcess
 from repro.core.hints import frame_ber_estimate
+from repro.experiments.api import register_experiment
 from repro.phy.snr import db_to_linear
 from repro.phy.transceiver import Transceiver
 
@@ -87,6 +88,27 @@ class MobileBerData:
         return float(np.mean(gaps)) if gaps else float("nan")
 
 
+def _metrics(data: MobileBerData) -> dict:
+    labels = sorted(data.doppler_hz)
+    out = {}
+    if len(labels) >= 2:
+        a, b = labels[0], labels[1]
+        out["softphy_divergence_decades"] = data.curve_divergence(
+            a, b, "softphy")
+        out["snr_divergence_decades"] = data.curve_divergence(
+            a, b, "snr")
+    for label in labels:
+        out[f"errored_fraction/{label}"] = float(
+            (data.truths[label] > 0).mean())
+    return out
+
+
+@register_experiment(
+    "fig08",
+    description="BER estimation across mobility speeds (Figs. 8 & 9)",
+    params={"seed": 8, "payload_bits": 1600, "n_frames": 60,
+            "rate_index": 3},
+    traces=("rayleigh",), algorithms=(), metrics=_metrics)
 def run_fig8(seed: int = 8, payload_bits: int = 1600,
              n_frames: int = 60, rate_index: int = 3,
              dopplers: Dict[str, float] = None,

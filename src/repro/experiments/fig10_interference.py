@@ -21,6 +21,7 @@ from repro.channel.awgn import apply_channel
 from repro.channel.interference import overlay_interference
 from repro.channel.rayleigh import RayleighFadingProcess
 from repro.core.interference import InterferenceDetector
+from repro.experiments.api import register_experiment
 from repro.phy.snr import db_to_linear
 from repro.phy.transceiver import Transceiver
 
@@ -72,6 +73,22 @@ def _run_slice(phy: Transceiver, tx, rel_power_db: float, snr_db: float,
                                 total_frames=n_frames)
 
 
+def _metrics(result) -> dict:
+    by_power, by_rate = result
+    out = {}
+    for rel, acc in by_power.items():
+        out[f"accuracy/power_{rel:g}dB"] = acc.accuracy
+    for rate_index, acc in by_rate.items():
+        out[f"accuracy/rate_{rate_index}"] = acc.accuracy
+    return out
+
+
+@register_experiment(
+    "fig10",
+    description="Interference detection accuracy by power and rate",
+    params={"seed": 10, "payload_bits": 1600, "n_frames": 25,
+            "snr_db": 10.0},
+    traces=(), algorithms=(), metrics=_metrics)
 def run_fig10(seed: int = 10, payload_bits: int = 1600,
               n_frames: int = 25, snr_db: float = 10.0,
               rel_powers_db: List[float] = None,

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.analysis.metrics import RateAccuracy, rate_selection_accuracy
+from repro.experiments.api import register_experiment
 from repro.experiments.common import (averaged_tcp_throughput,
                                       standard_algorithms)
 from repro.traces.format import LinkTrace
@@ -33,6 +34,25 @@ class SlowFadingResult:
     accuracy: Dict[str, RateAccuracy]            # N = 1 case
 
 
+def _metrics(result: "SlowFadingResult") -> dict:
+    out = {}
+    for name, values in result.throughput_mbps.items():
+        for n, mbps in zip(result.client_counts, values):
+            out[f"mbps/{name}/N={n}"] = float(mbps)
+    for name, acc in result.accuracy.items():
+        out[f"accuracy/{name}"] = float(acc.accurate)
+    return out
+
+
+@register_experiment(
+    "fig13",
+    description="TCP throughput over slow-fading mobile channels",
+    params={"client_counts": (1, 2, 3, 4, 5), "duration": 5.0,
+            "seeds": (1, 2), "trace_seed": 2009},
+    traces=("walking",),
+    algorithms=("omniscient", "softrate", "snr", "charm", "rraa",
+                "samplerate"),
+    seed_param="seeds", metrics=_metrics)
 def run_fig13(client_counts: Sequence[int] = (1, 2, 3, 4, 5),
               duration: float = 5.0, seeds=(1, 2),
               trace_seed: int = 2009,

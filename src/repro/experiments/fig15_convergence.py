@@ -20,13 +20,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.feedback import Feedback
+from repro.experiments.api import register_experiment
+from repro.experiments.common import protocol_factory
 from repro.phy.rates import RATE_TABLE
+from repro.rateadapt import SoftRate
 from repro.rateadapt.base import RateAdapter
 from repro.sim.topology import make_airtime_fn
 from repro.traces.format import LinkTrace
 from repro.traces.synthetic import alternating_trace
 
-__all__ = ["ConvergenceResult", "run_fig15", "measure_convergence"]
+__all__ = ["ConvergenceResult", "run_fig15", "measure_convergence",
+           "run_fig15_protocol"]
 
 _GAP = 80e-6      # DIFS + mean backoff + feedback slot
 
@@ -117,3 +121,54 @@ def run_fig15(adapter_factory, good_rate: int = 5, bad_rate: int = 4,
     times, rates = measure_convergence(adapter, trace, duration)
     return ConvergenceResult(times=times, rates=rates, period=period,
                              good_rate=good_rate, bad_rate=bad_rate)
+
+
+def _metrics(result: ConvergenceResult) -> dict:
+    times = result.convergence_times()
+
+    def _median_s(values):
+        return float(np.median(values)) if values else float("nan")
+
+    return {
+        "median_to_bad_s": _median_s(times["to_bad"]),
+        "median_to_good_s": _median_s(times["to_good"]),
+        "rate_switches_per_s": result.instability(),
+    }
+
+
+#: The synthetic alternating trace reports paper-scale BER estimates,
+#: so SoftRate runs with its default (paper, separation=10) thresholds
+#: here, not the trace-calibrated ones the TCP experiments need; the
+#: other protocols come straight from the shared factory mapping.
+_CONVERGENCE_ADAPTERS = {
+    "softrate": lambda rates, trace: SoftRate(rates),
+}
+
+
+@register_experiment(
+    "fig15",
+    description="Protocol convergence after an abrupt channel step",
+    params={"protocol": "softrate", "good_rate": 5, "bad_rate": 4,
+            "period": 1.0, "duration": 10.0},
+    traces=("alternating",),
+    algorithms=("softrate", "rraa", "samplerate"),
+    seed_param=None, metrics=_metrics)
+def run_fig15_protocol(protocol: str = "softrate", good_rate: int = 5,
+                       bad_rate: int = 4, period: float = 1.0,
+                       duration: float = 10.0) -> ConvergenceResult:
+    """Declarative front-end to :func:`run_fig15`: protocol by name.
+
+    The alternating channel and the adapters are deterministic, so the
+    experiment carries no seed parameter.  ``snr``/``charm`` are
+    rejected: their trained thresholds have no meaning here and the
+    declarative interface offers no training trace to supply.
+    """
+    if protocol in ("snr", "charm"):
+        raise ValueError(
+            f"fig15 does not support trained protocol {protocol!r}; "
+            "supported: ['softrate', 'rraa', 'samplerate', "
+            "'omniscient', 'snr-untrained']")
+    factory = _CONVERGENCE_ADAPTERS.get(protocol) \
+        or protocol_factory(protocol)
+    return run_fig15(factory, good_rate=good_rate, bad_rate=bad_rate,
+                     period=period, duration=duration)

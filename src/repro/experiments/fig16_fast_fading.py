@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.channel.rayleigh import doppler_for_coherence
+from repro.experiments.api import register_experiment
 from repro.experiments.common import (averaged_tcp_throughput,
                                       omniscient_factory, rraa_factory,
                                       samplerate_factory,
@@ -38,6 +39,26 @@ class FastFadingResult:
     omniscient_mbps: List[float]
 
 
+def _metrics(result: "FastFadingResult") -> dict:
+    out = {}
+    for name, values in result.normalized.items():
+        for coherence, v in zip(result.coherence_times, values):
+            out[f"normalized/{name}/{coherence * 1e6:g}us"] = float(v)
+    for coherence, mbps in zip(result.coherence_times,
+                               result.omniscient_mbps):
+        out[f"omniscient_mbps/{coherence * 1e6:g}us"] = float(mbps)
+    return out
+
+
+@register_experiment(
+    "fig16",
+    description="TCP throughput in fast-fading channels (no retraining)",
+    params={"coherence_times": (1e-3, 500e-6, 200e-6, 100e-6),
+            "duration": 4.0, "seeds": (1, 2), "mean_snr_db": 22.0,
+            "trace_seed": 16},
+    traces=("rayleigh", "walking"),
+    algorithms=("softrate", "snr", "rraa", "samplerate", "omniscient"),
+    seed_param="seeds", metrics=_metrics)
 def run_fig16(coherence_times: Sequence[float] = (1e-3, 500e-6, 200e-6,
                                                   100e-6),
               duration: float = 4.0, seeds=(1, 2),

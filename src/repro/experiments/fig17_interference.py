@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.analysis.metrics import RateAccuracy, rate_selection_accuracy
+from repro.experiments.api import register_experiment
 from repro.experiments.common import (averaged_tcp_throughput,
                                       rraa_factory, samplerate_factory,
                                       softrate_factory)
@@ -40,6 +41,25 @@ class InterferenceTcpResult:
     accuracy_cs: float
 
 
+def _metrics(result: "InterferenceTcpResult") -> dict:
+    out = {}
+    for name, values in result.throughput_mbps.items():
+        for cs, mbps in zip(result.cs_probabilities, values):
+            out[f"mbps/{name}/cs={cs:g}"] = float(mbps)
+    for name, acc in result.accuracy_at.items():
+        out[f"accuracy/{name}"] = float(acc.accurate)
+    return out
+
+
+@register_experiment(
+    "fig17",
+    description="TCP throughput under hidden-terminal interference",
+    params={"cs_probabilities": (0.0, 0.4, 0.8, 1.0), "n_clients": 5,
+            "duration": 4.0, "seeds": (1,), "trace_seed": 17,
+            "accuracy_cs": 0.8, "mean_snr_db": 16.0},
+    traces=("static",),
+    algorithms=("softrate", "rraa", "samplerate"),
+    seed_param="seeds", metrics=_metrics)
 def run_fig17(cs_probabilities: Sequence[float] = (0.0, 0.4, 0.8, 1.0),
               n_clients: int = 5, duration: float = 4.0, seeds=(1,),
               trace_seed: int = 17, accuracy_cs: float = 0.8,

@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.analysis.metrics import ccdf, run_lengths
+from repro.experiments.api import register_experiment
 from repro.phy.rates import RATE_TABLE
 from repro.rateadapt.base import RateAdapter
 from repro.sim.eventsim import Simulator
@@ -53,6 +54,21 @@ class SilentLossResult:
     frames_sent: Dict[int, int]
 
 
+def _metrics(result: "SilentLossResult") -> dict:
+    out = {}
+    for sender, fraction in result.silent_fraction.items():
+        out[f"silent_fraction/sender_{sender}"] = float(fraction)
+    for sender, count in result.frames_sent.items():
+        out[f"frames_sent/sender_{sender}"] = float(count)
+    return out
+
+
+@register_experiment(
+    "tab01",
+    description="Silent losses under hidden-terminal collisions",
+    params={"frame_bytes": (1400, 1400), "duration": 5.0, "seed": 4},
+    traces=("constant",), algorithms=("random-rate",),
+    metrics=_metrics)
 def run_silent_loss_experiment(frame_bytes: Tuple[int, int] = (1400, 1400),
                                duration: float = 5.0,
                                seed: int = 4) -> SilentLossResult:

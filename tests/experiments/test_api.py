@@ -1,0 +1,241 @@
+"""Tests for the unified experiment API (registry, runner, caching)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.api import (ExperimentResult, Runner, Scenario,
+                                   UnknownParameterError, derive_seeds,
+                                   experiment_names, get_experiment,
+                                   list_experiments, load_all, run)
+
+#: One registration per figXX/tabXX module (and nothing else).
+EXPECTED = {"fig01", "fig03", "fig05", "fig07", "fig08", "fig10",
+            "fig13", "fig15", "fig16", "fig17", "tab01", "tab02"}
+
+
+class TestRegistry:
+    def test_every_module_registered_exactly_once(self):
+        assert set(experiment_names()) == EXPECTED
+        modules = [get_experiment(name).fn.__module__
+                   for name in experiment_names()]
+        assert len(set(modules)) == len(modules)
+        for module in modules:
+            assert module.startswith("repro.experiments.")
+
+    def test_specs_are_described(self):
+        for spec in list_experiments():
+            assert spec.description
+            assert isinstance(spec.params, dict)
+
+    def test_seed_params_exist_in_parameter_space(self):
+        load_all()
+        for spec in list_experiments():
+            if spec.seed_param is not None:
+                assert spec.seed_param in spec.params, spec.name
+
+    def test_unknown_experiment_lists_available(self):
+        with pytest.raises(KeyError, match="fig13"):
+            get_experiment("fig99")
+
+
+class TestSpecValidation:
+    def test_unknown_key_rejected(self):
+        spec = get_experiment("fig01")
+        with pytest.raises(UnknownParameterError, match="bogus"):
+            spec.scenario({"bogus": 1})
+
+    def test_run_rejects_unknown_key(self):
+        with pytest.raises(UnknownParameterError):
+            run("fig01", not_a_param=3)
+
+    def test_overrides_merge_over_defaults(self):
+        scenario = get_experiment("fig01").scenario({"seed": 42})
+        assert scenario.params["seed"] == 42
+        assert scenario.params["detail_start"] == 4.0
+
+    def test_content_hash_stable_and_sensitive(self):
+        spec = get_experiment("fig01")
+        a = spec.scenario({"seed": 1}).content_hash()
+        b = spec.scenario({"seed": 1}).content_hash()
+        c = spec.scenario({"seed": 2}).content_hash()
+        assert a == b
+        assert a != c
+
+    def test_tuple_and_list_params_hash_identically(self):
+        spec = get_experiment("fig13")
+        a = spec.scenario({"client_counts": (1, 2)}).content_hash()
+        b = spec.scenario({"client_counts": [1, 2]}).content_hash()
+        assert a == b
+
+
+class TestRunner:
+    def test_run_returns_uniform_result(self):
+        result = run("fig01", duration=2.0)
+        assert result.experiment == "fig01"
+        assert result.params["duration"] == 2.0
+        assert result.seeds == [None]
+        assert len(result.per_seed) == 1
+        assert result.aggregates == result.per_seed[0]
+        assert result.raw is not None
+        assert "fade_depth_db" in result.aggregates
+
+    def test_registry_run_equals_direct_wrapper(self):
+        from repro.experiments.fig01_channel import run_fig1
+        direct = run_fig1(seed=4, duration=2.0)
+        via = run("fig01", seed=4, duration=2.0)
+        assert via.raw.fade_depth_db() == direct.fade_depth_db()
+        assert via.aggregates["fade_depth_db"] == \
+            direct.fade_depth_db()
+
+    def test_cache_hit_is_bit_identical(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path / "cache"))
+        first = runner.run("fig01", {"duration": 2.0})
+        second = runner.run("fig01", {"duration": 2.0})
+        assert not first.cached
+        assert second.cached
+        assert second.to_json() == first.to_json()
+
+    def test_cache_respects_params_and_seeds(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path / "cache"))
+        base = runner.run("fig01", {"duration": 2.0})
+        other = runner.run("fig01", {"duration": 2.5})
+        fanned = runner.run("fig01", {"duration": 2.0}, seeds=[1, 2])
+        assert not other.cached and other.cache_key != base.cache_key
+        assert not fanned.cached and fanned.cache_key != base.cache_key
+
+    def test_parallel_equals_serial(self, tmp_path):
+        serial = Runner(jobs=1, cache_dir=str(tmp_path / "a")).run(
+            "fig01", {"duration": 2.0}, seeds=[1, 2])
+        parallel = Runner(jobs=2, cache_dir=str(tmp_path / "b")).run(
+            "fig01", {"duration": 2.0}, seeds=[1, 2])
+        assert parallel.per_seed == serial.per_seed
+        assert parallel.aggregates == serial.aggregates
+        assert parallel.seeds == serial.seeds
+        assert parallel.cache_key == serial.cache_key
+
+    def test_fanned_result_omits_stale_seed_param(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path),
+                        use_cache=False)
+        fanned = runner.run("fig01", {"duration": 2.0}, seeds=[5, 6])
+        # The base seed default was rewritten per replicate; recording
+        # it would misstate what ran — `seeds` is authoritative.
+        assert "seed" not in fanned.params
+        assert fanned.seeds == [5, 6]
+        single = runner.run("fig01", {"duration": 2.0})
+        assert single.params["seed"] == 1
+
+    def test_seed_fan_rewrites_seed_param(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path / "cache"),
+                        use_cache=False)
+        fanned = runner.run("fig01", {"duration": 2.0}, seeds=[1, 9])
+        assert fanned.seeds == [1, 9]
+        assert len(fanned.per_seed) == 2
+        # Different seeds -> different trajectories.
+        assert fanned.per_seed[0]["fade_depth_db"] != \
+            fanned.per_seed[1]["fade_depth_db"]
+        mean = np.mean([m["fade_depth_db"] for m in fanned.per_seed])
+        assert fanned.aggregates["fade_depth_db"] == \
+            pytest.approx(float(mean))
+
+    def test_tuple_seed_param_gets_singleton(self):
+        scenario = get_experiment("fig13").scenario().with_seed(7)
+        assert scenario.params["seeds"] == (7,)
+
+    def test_sweep_runs_each_value(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path / "cache"))
+        results = runner.sweep("fig01", "seed", [1, 2])
+        assert [r.params["seed"] for r in results] == [1, 2]
+        cached = runner.sweep("fig01", "seed", [1, 2])
+        assert all(r.cached for r in cached)
+        assert [r.to_json() for r in cached] == \
+            [r.to_json() for r in results]
+
+    def test_derive_seeds_deterministic(self):
+        assert derive_seeds(0, 3) == derive_seeds(0, 3)
+        assert derive_seeds(0, 3) != derive_seeds(1, 3)
+        assert len(set(derive_seeds(0, 8))) == 8
+
+
+class TestResultSerialization:
+    def test_json_roundtrip(self):
+        result = run("fig01", duration=2.0)
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.to_json() == result.to_json()
+        assert restored.aggregates == result.aggregates
+
+    def test_nan_metrics_serialize_as_strict_json(self):
+        result = ExperimentResult(
+            experiment="x", params={}, seeds=[None],
+            per_seed=[{"m": float("nan")}],
+            aggregates={"m": float("nan")}, cache_key="0")
+        text = result.to_json()
+        assert "NaN" not in text
+        restored = ExperimentResult.from_json(text)
+        assert np.isnan(restored.aggregates["m"])
+        assert np.isnan(restored.per_seed[0]["m"])
+        assert restored.to_json() == text
+
+    def test_save_json_and_npz(self, tmp_path):
+        result = run("fig01", duration=2.0)
+        jpath = tmp_path / "r.json"
+        zpath = tmp_path / "r.npz"
+        result.save(str(jpath))
+        result.save(str(zpath))
+        data = json.loads(jpath.read_text())
+        assert data["experiment"] == "fig01"
+        npz = np.load(str(zpath))
+        assert float(npz["aggregate/fade_depth_db"]) == \
+            result.aggregates["fade_depth_db"]
+        assert json.loads(str(npz["metadata"]))["experiment"] == \
+            "fig01"
+
+
+class TestDeterministicExperiments:
+    def test_tab02_has_no_seed(self):
+        spec = get_experiment("tab02")
+        assert spec.seed_param is None
+        scenario = spec.scenario()
+        assert scenario.with_seed(5) is scenario
+
+    def test_seed_fan_rejected_for_seedless_experiment(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path),
+                        use_cache=False)
+        with pytest.raises(ValueError, match="deterministic"):
+            runner.run("tab02", seeds=[1, 2])
+        with pytest.raises(ValueError, match="deterministic"):
+            runner.sweep("fig15", "protocol", ["softrate"],
+                         seeds=[1, 2])
+
+    def test_tab02_runs(self):
+        result = run("tab02")
+        assert result.aggregates["n_rates"] == 8.0
+        assert result.aggregates["n_prototype"] == 6.0
+        assert "18 Mbps" in result.raw.render()
+
+
+class TestProtocolRegistry:
+    def test_all_protocols_resolve(self):
+        from repro.experiments.common import (PROTOCOL_NAMES,
+                                              protocol_factory)
+        from repro.phy.rates import RATE_TABLE
+        from repro.traces.synthetic import constant_trace
+
+        trace = constant_trace(best_rate=3, duration=1.0)
+        rates = RATE_TABLE.prototype_subset()
+        for name in PROTOCOL_NAMES:
+            factory = protocol_factory(name, training_trace=trace)
+            adapter = factory(rates, trace)
+            assert 0 <= adapter.choose_rate(0.0) < len(rates), name
+
+    def test_trained_protocols_require_trace(self):
+        from repro.experiments.common import protocol_factory
+        for name in ("snr", "charm"):
+            with pytest.raises(ValueError):
+                protocol_factory(name)
+
+    def test_unknown_protocol_rejected(self):
+        from repro.experiments.common import protocol_factory
+        with pytest.raises(ValueError, match="available"):
+            protocol_factory("wishful-thinking")

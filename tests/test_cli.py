@@ -57,6 +57,76 @@ class TestSimulate:
         assert "softrate:" in out
         assert "Mbps" in out
 
+    def test_charm_protocol_reachable(self, capsys):
+        assert main(["simulate", "--duration", "0.5",
+                     "--protocol", "charm"]) == 0
+        out = capsys.readouterr().out
+        assert "charm:" in out
+
+    def test_snr_untrained_protocol_reachable(self, capsys):
+        assert main(["simulate", "--duration", "0.5",
+                     "--protocol", "snr-untrained"]) == 0
+        out = capsys.readouterr().out
+        assert "snr-untrained:" in out
+
+
+class TestProtocolChoices:
+    def test_cli_mirror_matches_common(self):
+        from repro.cli import _PROTOCOL_CHOICES
+        from repro.experiments.common import PROTOCOL_NAMES
+        assert _PROTOCOL_CHOICES == PROTOCOL_NAMES
+
+
+class TestList:
+    def test_enumerates_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig01", "fig13", "tab01", "tab02"):
+            assert name in out
+        assert "12 experiments registered" in out
+
+
+class TestRun:
+    def test_run_with_override_and_output(self, tmp_path, capsys):
+        out_path = str(tmp_path / "result.json")
+        assert main(["run", "fig01", "--set", "duration=0.5",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--output", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "fade_depth_db" in out
+        import json
+        data = json.loads(open(out_path).read())
+        assert data["experiment"] == "fig01"
+        assert data["params"]["duration"] == 0.5
+
+    def test_run_uses_cache_on_second_invocation(self, tmp_path,
+                                                 capsys):
+        args = ["run", "fig01", "--set", "duration=0.5",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "(cache)" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99", "--no-cache"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_parameter_fails_cleanly(self, capsys):
+        assert main(["run", "fig01", "--set", "bogus=1",
+                     "--no-cache"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_prints_row_per_value(self, tmp_path, capsys):
+        assert main(["sweep", "fig01", "--param", "seed",
+                     "--values", "1,2",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "seed=1" in out and "seed=2" in out
+        assert "fade_depth_db" in out
+
 
 class TestParser:
     def test_unknown_command_rejected(self):
