@@ -215,7 +215,8 @@ def _invoke_runner(args, call):
                                        UnknownParameterError)
 
     runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir,
-                    use_cache=not args.no_cache)
+                    use_cache=not args.no_cache,
+                    batch_size=args.batch_size)
     try:
         return call(runner), None
     except UnknownExperimentError as exc:
@@ -274,6 +275,11 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
                    help="base for --replicates seed derivation")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the replicate/sweep fan")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="frames decoded per batched-PHY call, for "
+                        "experiments that declare the knob (results "
+                        "are identical at any value; higher = faster, "
+                        "more memory)")
     p.add_argument("--output", help="write result (.json or .npz)")
     p.add_argument("--cache-dir", default=".repro-cache")
     p.add_argument("--no-cache", action="store_true",

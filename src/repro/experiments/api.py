@@ -45,6 +45,13 @@ __all__ = ["ExperimentSpec", "Scenario", "ExperimentResult", "Runner",
 #: Bump to invalidate previously cached results on disk.
 CACHE_VERSION = 1
 
+#: Parameters that tune throughput but are guaranteed (and tested) not
+#: to change an experiment's results — e.g. ``batch_size``, which only
+#: sets how many frames the PHY decodes at once.  They are excluded
+#: from content hashes so a cached result stays valid at any setting,
+#: and the Runner injects its own default into specs that declare them.
+PERF_PARAMS = frozenset({"batch_size"})
+
 #: Modules that self-register an experiment on import; ``load_all``
 #: imports them so the registry is complete in any process.
 _EXPERIMENT_MODULES = (
@@ -143,6 +150,11 @@ class ExperimentSpec:
                     if isinstance(v, (int, float, np.generic))}
         return {}
 
+    @property
+    def supports_batching(self) -> bool:
+        """Whether the spec declares the ``batch_size`` throughput knob."""
+        return "batch_size" in self.params
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -152,9 +164,16 @@ class Scenario:
     params: Dict[str, Any]
 
     def content_hash(self) -> str:
-        """Stable digest of (experiment, params, cache version)."""
+        """Stable digest of (experiment, params, cache version).
+
+        Performance-only parameters (:data:`PERF_PARAMS`) are excluded:
+        they cannot change results, so one cached record serves every
+        setting.
+        """
+        params = {k: v for k, v in self.params.items()
+                  if k not in PERF_PARAMS}
         payload = (f"v{CACHE_VERSION}:{self.experiment}:"
-                   f"{_canonical_json(self.params)}")
+                   f"{_canonical_json(params)}")
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def with_seed(self, seed: Any) -> "Scenario":
@@ -362,10 +381,27 @@ class Runner:
     """
 
     def __init__(self, jobs: int = 1, cache_dir: str = ".repro-cache",
-                 use_cache: bool = True):
+                 use_cache: bool = True,
+                 batch_size: Optional[int] = None):
         self.jobs = max(int(jobs), 1)
         self.cache_dir = cache_dir
         self.use_cache = use_cache
+        #: When set, injected as the ``batch_size`` override for specs
+        #: that declare the knob (see :data:`PERF_PARAMS`); specs
+        #: without it are unaffected, so sweeps can pass one value for
+        #: a mixed bag of experiments.
+        self.batch_size = batch_size
+
+    def _with_batch_size(self, spec: ExperimentSpec,
+                         overrides: Optional[Mapping[str, Any]]
+                         ) -> Dict[str, Any]:
+        """Merge the runner's batch_size into ``overrides`` where the
+        spec declares the knob and the caller did not pin it."""
+        merged = dict(overrides or {})
+        if (self.batch_size is not None and spec.supports_batching
+                and "batch_size" not in merged):
+            merged["batch_size"] = int(self.batch_size)
+        return merged
 
     # -- caching ------------------------------------------------------
 
@@ -385,6 +421,18 @@ class Runner:
         result.cached = True
         return result
 
+    @staticmethod
+    def _refresh_perf_params(result: ExperimentResult,
+                             base: Scenario) -> None:
+        """Stamp the requested performance-only parameters onto a
+        cache hit: the stored record carries whatever values the
+        original run used, and since PERF_PARAMS cannot change
+        results, the honest record for *this* run is what was asked
+        for now."""
+        for key in PERF_PARAMS:
+            if key in base.params and key in result.params:
+                result.params[key] = base.params[key]
+
     def _cache_store(self, result: ExperimentResult) -> None:
         if not self.use_cache:
             return
@@ -400,7 +448,9 @@ class Runner:
 
     @staticmethod
     def _run_key(base: Scenario, seeds: Optional[Sequence[Any]]) -> str:
-        payload = _canonical_json({"scenario": base.params,
+        params = {k: v for k, v in base.params.items()
+                  if k not in PERF_PARAMS}
+        payload = _canonical_json({"scenario": params,
                                    "seeds": list(seeds or [])})
         return hashlib.sha256(
             f"{base.content_hash()}:{payload}".encode()).hexdigest()[:16]
@@ -433,7 +483,7 @@ class Runner:
         deterministically, and ``aggregates`` averages the replicates.
         """
         spec = get_experiment(name)
-        base = spec.scenario(overrides)
+        base = spec.scenario(self._with_batch_size(spec, overrides))
         seed_list = list(seeds) if seeds is not None else None
         if seed_list and spec.seed_param is None:
             raise ValueError(
@@ -442,6 +492,7 @@ class Runner:
         key = self._run_key(base, seed_list)
         hit = self._cache_load(name, key)
         if hit is not None:
+            self._refresh_perf_params(hit, base)
             return hit
 
         if seed_list:
@@ -486,11 +537,13 @@ class Runner:
         runs: List[Optional[ExperimentResult]] = []
         pending: List[Tuple[int, Scenario, str, List[Scenario]]] = []
         for value in values:
-            merged = dict(overrides or {})
+            merged = self._with_batch_size(spec, overrides)
             merged[param] = value
             base = spec.scenario(merged)
             key = self._run_key(base, seed_list)
             hit = self._cache_load(name, key)
+            if hit is not None:
+                self._refresh_perf_params(hit, base)
             runs.append(hit)
             if hit is None:
                 points = ([base.with_seed(s) for s in seed_list]

@@ -8,9 +8,13 @@ GNU Radio prototype of the SoftRate paper (SIGCOMM 2009, section 4):
 * per-symbol frequency interleaving,
 * a hard-output Viterbi decoder and a soft-output log-MAP (BCJR)
   decoder whose per-bit log-likelihood ratios are the source of the
-  SoftPHY hints used by :mod:`repro.core`.
+  SoftPHY hints used by :mod:`repro.core`,
+* a frame-batched fast path (:mod:`repro.phy.batch`) that pushes a
+  ``(n_frames, ...)`` stack through the same pipeline bit-identically,
+  amortising the Python-level trellis loops across the batch.
 """
 
+from repro.phy.batch import TxBatch, batch_receive, batch_transmit
 from repro.phy.rates import RateTable, Rate, RATE_TABLE, OperatingMode, MODES
 from repro.phy.transceiver import Transceiver, RxResult
 
@@ -22,4 +26,7 @@ __all__ = [
     "MODES",
     "Transceiver",
     "RxResult",
+    "TxBatch",
+    "batch_transmit",
+    "batch_receive",
 ]

@@ -20,6 +20,15 @@ Two recursion flavours are provided:
 The recursions exploit the 2-regular trellis of a rate-1/2 code: every
 state has exactly two predecessors and two successors, so each step is
 a single vectorised binary combine over the state vector.
+
+The decoder is implemented as a **batched kernel**
+(:func:`bcjr_decode_batch`): a ``(n_frames, n_llrs)`` stack of
+equal-length frames advances through every trellis step together, so
+the Python-level recursion loop runs once for the whole batch instead
+of once per frame.  :func:`bcjr_decode` is a thin single-frame wrapper
+over the same kernel; both paths are bit-identical (the batched code
+performs exactly the same elementwise float operations and last-axis
+reductions as the per-frame code).
 """
 
 from __future__ import annotations
@@ -28,13 +37,79 @@ import numpy as np
 
 from repro.phy.convcode import ConvolutionalCode
 
-__all__ = ["bcjr_decode", "BcjrResult"]
+__all__ = ["bcjr_decode", "bcjr_decode_batch", "BcjrResult",
+           "BcjrBatchResult"]
 
 _NEG_INF = -1e30
 
+#: Batch size at which the fused backward pass overtakes the
+#: whole-array posterior combine (see ``bcjr_decode_batch``).  Both
+#: strategies are bit-identical; this is purely a speed crossover.
+_FUSED_MIN_FRAMES = 8
+
+
+def _logsumexp_last(a: np.ndarray) -> np.ndarray:
+    """Log-sum-exp over the last axis of ``a``.
+
+    Bit-identical to ``scipy.special.logsumexp(a, axis=-1)`` (scipy >=
+    1.15 algorithm: maxima pulled out of the sum, remainder scaled by
+    their multiplicity ``m``, result ``log1p(s) + log(m) + a_max``)
+    for finite real inputs, and to :func:`_logsumexp_rows` — but
+    allocating, for the small-batch whole-array strategy.
+    """
+    mx = a.max(axis=-1, keepdims=True)
+    mask = a == mx
+    m = mask.sum(axis=-1, dtype=a.dtype)
+    e = np.exp(a - mx)
+    e[mask] = 0.0
+    s = e.sum(axis=-1)
+    np.divide(s, m, out=s, where=s != 0)       # s == 0 stays 0
+    return np.log1p(s) + np.log(m) + mx[..., 0]
+
+
+class _LseBuffers:
+    """Scratch slabs for :func:`_logsumexp_rows` (one set per decode)."""
+
+    __slots__ = ("mx", "mask", "m", "s")
+
+    def __init__(self, n_frames: int, n_states: int):
+        self.mx = np.empty((n_frames, 1))
+        self.mask = np.empty((n_frames, n_states), dtype=bool)
+        self.m = np.empty(n_frames)
+        self.s = np.empty(n_frames)
+
+
+def _logsumexp_rows(a: np.ndarray, buf: _LseBuffers,
+                    out: np.ndarray) -> None:
+    """Row-wise log-sum-exp of ``a`` (shape ``(F, S)``) into ``out``.
+
+    Bit-identical to ``scipy.special.logsumexp(a, axis=-1)`` (scipy >=
+    1.15 algorithm) for the finite inputs the trellis produces
+    (``_NEG_INF`` is a large finite float, so the row max is always
+    finite, real, and ``b is None``): the maximal elements are pulled
+    out of the sum, the remainder is scaled by their multiplicity
+    ``m``, and the result is ``log1p(s) + log(m) + a_max``.  Unlike
+    the scipy call this is allocation-free — ``a`` is consumed as
+    scratch and ``buf`` holds caller-owned slabs — which matters when
+    it runs once per trellis step.
+    """
+    np.amax(a, axis=1, keepdims=True, out=buf.mx)
+    np.equal(a, buf.mx, out=buf.mask)          # maximal elements
+    np.sum(buf.mask, axis=1, dtype=a.dtype, out=buf.m)
+    np.subtract(a, buf.mx, out=a)
+    np.exp(a, out=a)
+    a[buf.mask] = 0.0                          # exclude the maxima
+    np.sum(a, axis=1, out=buf.s)
+    np.divide(buf.s, buf.m, out=buf.s,
+              where=buf.s != 0)                # s == 0 stays 0
+    np.log1p(buf.s, out=buf.s)
+    np.log(buf.m, out=buf.m)
+    np.add(buf.s, buf.m, out=buf.s)
+    np.add(buf.s, buf.mx[:, 0], out=out)
+
 
 class BcjrResult:
-    """Output of the BCJR decoder.
+    """Output of the BCJR decoder for one frame.
 
     Attributes:
         llrs: a-posteriori LLR per information bit (tail stripped).
@@ -46,6 +121,28 @@ class BcjrResult:
     def __init__(self, llrs: np.ndarray):
         self.llrs = llrs
         self.bits = (llrs >= 0).astype(np.uint8)
+
+
+class BcjrBatchResult:
+    """Output of the batched BCJR decoder.
+
+    Attributes:
+        llrs: ``(n_frames, n_info_bits)`` posterior LLRs.
+        bits: ``(n_frames, n_info_bits)`` hard decisions.
+    """
+
+    __slots__ = ("llrs", "bits")
+
+    def __init__(self, llrs: np.ndarray):
+        self.llrs = llrs
+        self.bits = (llrs >= 0).astype(np.uint8)
+
+    def __len__(self) -> int:
+        return self.llrs.shape[0]
+
+    def frame(self, i: int) -> BcjrResult:
+        """The ``i``-th frame's result as a scalar :class:`BcjrResult`."""
+        return BcjrResult(self.llrs[i])
 
 
 def bcjr_decode(code: ConvolutionalCode, channel_llrs: np.ndarray,
@@ -62,9 +159,40 @@ def bcjr_decode(code: ConvolutionalCode, channel_llrs: np.ndarray,
         A :class:`BcjrResult` with per-information-bit posterior LLRs.
     """
     llrs = np.asarray(channel_llrs, dtype=np.float64)
-    if llrs.size % 2 != 0:
+    if llrs.ndim != 1:
+        raise ValueError("bcjr_decode expects a 1-D LLR stream; "
+                         "use bcjr_decode_batch for frame stacks")
+    batch = bcjr_decode_batch(code, llrs[None, :], variant)
+    return BcjrResult(batch.llrs[0])
+
+
+def bcjr_decode_batch(code: ConvolutionalCode, channel_llrs: np.ndarray,
+                      variant: str = "log-map") -> BcjrBatchResult:
+    """Decode a ``(n_frames, n_llrs)`` stack of equal-length streams.
+
+    All frames advance each trellis step together: the forward and
+    backward recursions run their Python loop once per trellis step for
+    the whole batch, with per-frame state vectors stacked along the
+    leading axis.  The output is bit-identical to decoding each row
+    individually with :func:`bcjr_decode`.
+
+    Args:
+        code: the convolutional code.
+        channel_llrs: depunctured channel LLRs, shape
+            ``(n_frames, 2 * n_steps)``; punctured positions are 0.
+        variant: ``"log-map"`` (exact) or ``"max-log-map"``.
+
+    Returns:
+        A :class:`BcjrBatchResult` with posterior LLRs of shape
+        ``(n_frames, n_steps - n_tail_bits)``.
+    """
+    llrs = np.asarray(channel_llrs, dtype=np.float64)
+    if llrs.ndim != 2:
+        raise ValueError("bcjr_decode_batch expects a 2-D LLR array")
+    if llrs.shape[-1] % 2 != 0:
         raise ValueError("channel LLR stream must have even length")
-    n_steps = llrs.size // 2
+    n_frames = llrs.shape[0]
+    n_steps = llrs.shape[-1] // 2
     if n_steps <= code.n_tail_bits:
         raise ValueError("input shorter than the code's tail")
     if variant == "log-map":
@@ -80,13 +208,17 @@ def bcjr_decode(code: ConvolutionalCode, channel_llrs: np.ndarray,
     prev_state = trellis.prev_state            # (S, 2)
     prev_input = trellis.prev_input            # (S, 2)
 
-    # gamma[t, s, b] = c0 * L0[t] + c1 * L1[t] for that transition's
-    # coded bits (terms independent of the transition cancel in LLRs).
+    # gamma[t, f, s, b] = c0 * L0[f, t] + c1 * L1[f, t] for that
+    # transition's coded bits (terms independent of the transition
+    # cancel in LLRs).  All batch arrays are **time-major** so each
+    # recursion step works on one contiguous (n_frames, ...) slab —
+    # frame-major layout would stride megabytes apart per step and
+    # thrash the cache into being slower than the scalar path.
     out = trellis.outputs.astype(np.float64)   # (S, 2, 2)
-    pairs = llrs.reshape(n_steps, 2)
-    gamma = (out[None, :, :, 0] * pairs[:, None, None, 0]
-             + out[None, :, :, 1] * pairs[:, None, None, 1])  # (T, S, 2)
-    gamma_flat = gamma.reshape(n_steps, 2 * n_states)
+    pairs = llrs.reshape(n_frames, n_steps, 2).transpose(1, 0, 2)
+    gamma = (out[None, None, :, :, 0] * pairs[:, :, None, None, 0]
+             + out[None, None, :, :, 1] * pairs[:, :, None, None, 1])
+    gamma_flat = gamma.reshape(n_steps, n_frames, 2 * n_states)
 
     # Column index into gamma_flat for the transition that enters state
     # s via its i-th predecessor (i = 0, 1).
@@ -97,38 +229,97 @@ def bcjr_decode(code: ConvolutionalCode, channel_llrs: np.ndarray,
     leave0 = 2 * np.arange(n_states)           # transition (s, 0)
     leave1 = leave0 + 1                        # transition (s, 1)
 
-    # Forward recursion.
-    alpha = np.empty((n_steps + 1, n_states))
+    # Scratch slabs reused every step: at thousands of trellis steps,
+    # per-step temporaries would make the allocator a hot spot.
+    shape = (n_frames, n_states)
+    ta, tb, tc = (np.empty(shape) for _ in range(3))
+    mx = np.empty((n_frames, 1))
+
+    # Forward recursion.  alpha is kept whole: the fused backward pass
+    # below consumes alpha[t] while it walks t backwards.
+    alpha = np.empty((n_steps + 1, n_frames, n_states))
     alpha[0] = _NEG_INF
-    alpha[0, 0] = 0.0
+    alpha[0, :, 0] = 0.0
     for t in range(n_steps):
-        row = alpha[t]
-        gf = gamma_flat[t]
-        nxt = combine(row[pred0] + gf[enter0], row[pred1] + gf[enter1])
+        row = alpha[t]                         # (F, S)
+        gf = gamma_flat[t]                     # (F, 2S)
+        np.take(row, pred0, axis=1, out=ta)
+        np.take(gf, enter0, axis=1, out=tb)
+        np.add(ta, tb, out=ta)                 # row[pred0] + gf[enter0]
+        np.take(row, pred1, axis=1, out=tc)
+        np.take(gf, enter1, axis=1, out=tb)
+        np.add(tc, tb, out=tc)                 # row[pred1] + gf[enter1]
+        combine(ta, tc, out=ta)
         # Normalise to avoid drift; offsets cancel in the final LLR.
-        alpha[t + 1] = nxt - nxt.max()
+        np.amax(ta, axis=1, keepdims=True, out=mx)
+        np.subtract(ta, mx, out=alpha[t + 1])
 
-    # Backward recursion (terminated trellis: end in state 0).
-    beta = np.empty((n_steps + 1, n_states))
-    beta[n_steps] = _NEG_INF
-    beta[n_steps, 0] = 0.0
-    for t in range(n_steps - 1, -1, -1):
-        row = beta[t + 1]
-        gf = gamma_flat[t]
-        prev = combine(row[succ0] + gf[leave0], row[succ1] + gf[leave1])
-        beta[t] = prev - prev.max()
-
-    # Posterior LLR per trellis step: combine over transitions with
-    # input bit 1 minus transitions with input bit 0.  Transition
-    # (s, b) runs from alpha[t, s] to beta[t + 1, next_state[s, b]].
-    score0 = alpha[:-1] + gamma[:, :, 0] + beta[1:, succ0]   # (T, S)
-    score1 = alpha[:-1] + gamma[:, :, 1] + beta[1:, succ1]
-    if variant == "log-map":
-        from scipy.special import logsumexp
-        num = logsumexp(score1, axis=1)
-        den = logsumexp(score0, axis=1)
+    # Backward recursion (terminated trellis: end in state 0) and
+    # posterior combine, by one of two bit-identical strategies.
+    # Transition (s, b) runs from alpha[t, s] to
+    # beta[t + 1, next_state[s, b]].
+    if n_frames >= _FUSED_MIN_FRAMES:
+        # Large batches: fuse the posterior into the backward loop.
+        # At step t both beta[t + 1] and alpha[t] are live in cache,
+        # so the per-step LLR combine costs one more pass over the
+        # same slabs instead of materialising (T, F, S) score arrays.
+        g0, g1, b0, b1, s0, s1 = (np.empty(shape) for _ in range(6))
+        lse_buf = _LseBuffers(n_frames, n_states)
+        num = np.empty((n_steps, n_frames))
+        den = np.empty((n_steps, n_frames))
+        beta_next = np.full(shape, _NEG_INF)   # beta[t + 1]
+        beta_next[:, 0] = 0.0
+        beta_cur = np.empty(shape)
+        for t in range(n_steps - 1, -1, -1):
+            alpha_t = alpha[t]
+            gf = gamma_flat[t]
+            np.take(gf, leave0, axis=1, out=g0)    # gamma[t, :, :, 0]
+            np.take(gf, leave1, axis=1, out=g1)
+            np.take(beta_next, succ0, axis=1, out=b0)
+            np.take(beta_next, succ1, axis=1, out=b1)
+            # Posterior scores, in the reference association order
+            # (alpha + gamma) + beta.
+            np.add(alpha_t, g0, out=s0)
+            np.add(s0, b0, out=s0)
+            np.add(alpha_t, g1, out=s1)
+            np.add(s1, b1, out=s1)
+            if variant == "log-map":
+                _logsumexp_rows(s1, lse_buf, num[t])
+                _logsumexp_rows(s0, lse_buf, den[t])
+            else:
+                np.amax(s1, axis=1, out=num[t])
+                np.amax(s0, axis=1, out=den[t])
+            # Beta recursion, reference order beta[succ] + gamma.
+            np.add(b0, g0, out=b0)
+            np.add(b1, g1, out=b1)
+            combine(b0, b1, out=b0)
+            np.amax(b0, axis=1, keepdims=True, out=mx)
+            np.subtract(b0, mx, out=beta_cur)
+            beta_next, beta_cur = beta_cur, beta_next
     else:
-        num = score1.max(axis=1)
-        den = score0.max(axis=1)
-    posterior = num - den
-    return BcjrResult(posterior[: n_steps - code.n_tail_bits])
+        # Small batches (including the scalar wrapper's n_frames = 1):
+        # per-step slabs are too small to amortise the fused pass's
+        # extra ufunc calls, so keep beta whole and combine the
+        # posterior in a few whole-array operations instead.
+        beta = np.empty((n_steps + 1, n_frames, n_states))
+        beta[n_steps] = _NEG_INF
+        beta[n_steps, :, 0] = 0.0
+        for t in range(n_steps - 1, -1, -1):
+            row = beta[t + 1]
+            gf = gamma_flat[t]
+            prev = combine(row[:, succ0] + gf[:, leave0],
+                           row[:, succ1] + gf[:, leave1])
+            beta[t] = prev - prev.max(axis=-1, keepdims=True)
+        score0 = (alpha[:-1] + gamma[:, :, :, 0]
+                  + beta[1:][:, :, succ0])     # (T, F, S)
+        score1 = (alpha[:-1] + gamma[:, :, :, 1]
+                  + beta[1:][:, :, succ1])
+        if variant == "log-map":
+            num = _logsumexp_last(score1)
+            den = _logsumexp_last(score0)
+        else:
+            num = score1.max(axis=-1)
+            den = score0.max(axis=-1)
+
+    posterior = num.T - den.T                  # (F, T), C-contiguous
+    return BcjrBatchResult(posterior[:, : n_steps - code.n_tail_bits])

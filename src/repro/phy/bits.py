@@ -121,12 +121,15 @@ def scramble(bits: np.ndarray, seed: int = 0x5D) -> np.ndarray:
     """XOR ``bits`` with the 802.11 scrambler sequence.
 
     Scrambling whitens long runs of identical bits so that the channel
-    and synchronisation behave independently of payload content.
+    and synchronisation behave independently of payload content.  A
+    ``(n_frames, n_bits)`` stack is scrambled row by row (each frame
+    restarts the scrambler, as each frame does on air).
     """
     bits = np.asarray(bits, dtype=np.uint8)
     sequence = _scrambler_sequence(seed)
-    reps = -(-bits.size // _SCRAMBLER_LEN)
-    return bits ^ np.tile(sequence, reps)[: bits.size]
+    n = bits.shape[-1]
+    reps = -(-n // _SCRAMBLER_LEN)
+    return bits ^ np.tile(sequence, reps)[:n]
 
 
 def descramble(bits: np.ndarray, seed: int = 0x5D) -> np.ndarray:

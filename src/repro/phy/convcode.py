@@ -122,18 +122,42 @@ class ConvolutionalCode:
 
         Returns the rate-1/2 coded stream, interleaved as
         ``[A0, B0, A1, B1, ...]``, of length
-        ``2 * (len(info_bits) + n_tail_bits)``.
+        ``2 * (len(info_bits) + n_tail_bits)``.  Thin wrapper over
+        :meth:`encode_batch` (the single source of truth).
         """
         info_bits = np.asarray(info_bits, dtype=np.uint8)
+        if info_bits.ndim != 1:
+            raise ValueError("encode expects a 1-D bit array; "
+                             "use encode_batch for frame stacks")
+        return self.encode_batch(info_bits[None, :])[0]
+
+    def encode_batch(self, info_bits: np.ndarray) -> np.ndarray:
+        """Encode a ``(n_frames, n_info)`` stack of equal-length frames.
+
+        All frames advance through the shift register together: the
+        per-bit loop runs once for the whole batch, with the encoder
+        state held as a vector of per-frame states.
+
+        Returns the coded streams, shape ``(n_frames, 2 * (n_info +
+        n_tail_bits))``, bit-identical to encoding each row alone.
+        """
+        info_bits = np.asarray(info_bits, dtype=np.uint8)
+        if info_bits.ndim != 2:
+            raise ValueError("encode_batch expects a 2-D bit array")
+        n_frames = info_bits.shape[0]
         bits = np.concatenate(
-            [info_bits, np.zeros(self.n_tail_bits, dtype=np.uint8)])
-        coded = np.empty(2 * bits.size, dtype=np.uint8)
-        state = 0
+            [info_bits,
+             np.zeros((n_frames, self.n_tail_bits), dtype=np.uint8)],
+            axis=1)
+        n_steps = bits.shape[1]
+        coded = np.empty((n_frames, 2 * n_steps), dtype=np.uint8)
+        state = np.zeros(n_frames, dtype=np.int64)
         next_state = self.trellis.next_state
         outputs = self.trellis.outputs
-        for i, bit in enumerate(bits):
-            coded[2 * i] = outputs[state, bit, 0]
-            coded[2 * i + 1] = outputs[state, bit, 1]
+        for i in range(n_steps):
+            bit = bits[:, i]
+            coded[:, 2 * i] = outputs[state, bit, 0]
+            coded[:, 2 * i + 1] = outputs[state, bit, 1]
             state = next_state[state, bit]
         return coded
 
@@ -152,12 +176,17 @@ def n_coded_bits(n_trellis_steps: int, code_rate: Fraction) -> int:
 
 
 def puncture(coded: np.ndarray, code_rate: Fraction) -> np.ndarray:
-    """Delete coded bits according to the pattern for ``code_rate``."""
+    """Delete coded bits according to the pattern for ``code_rate``.
+
+    Accepts a 1-D stream or a ``(n_frames, n_bits)`` stack; the pattern
+    applies along the last axis.
+    """
     coded = np.asarray(coded)
     pattern = PUNCTURE_PATTERNS[code_rate]
-    reps = -(-coded.size // pattern.size)
-    mask = np.tile(pattern, reps)[: coded.size]
-    return coded[mask]
+    n = coded.shape[-1]
+    reps = -(-n // pattern.size)
+    mask = np.tile(pattern, reps)[:n]
+    return coded[..., mask]
 
 
 def depuncture(values: np.ndarray, n_mother_bits: int,
@@ -172,17 +201,20 @@ def depuncture(values: np.ndarray, n_mother_bits: int,
         fill: value for the erased positions (0 = "no information"
             for LLRs, and a neutral value for hard bits).
 
-    Returns a float array of length ``n_mother_bits``.
+    Accepts a 1-D stream or a ``(n_frames, n_values)`` stack (erasures
+    re-inserted along the last axis); returns a float array whose last
+    axis has length ``n_mother_bits``.
     """
     values = np.asarray(values, dtype=np.float64)
     pattern = PUNCTURE_PATTERNS[code_rate]
     reps = -(-n_mother_bits // pattern.size)
     mask = np.tile(pattern, reps)[:n_mother_bits]
     expected = int(mask.sum())
-    if values.size != expected:
+    if values.shape[-1] != expected:
         raise ValueError(
-            f"got {values.size} values, expected {expected} for "
+            f"got {values.shape[-1]} values, expected {expected} for "
             f"{n_mother_bits} mother bits at rate {code_rate}")
-    out = np.full(n_mother_bits, fill, dtype=np.float64)
-    out[mask] = values
+    out = np.full(values.shape[:-1] + (n_mother_bits,), fill,
+                  dtype=np.float64)
+    out[..., mask] = values
     return out

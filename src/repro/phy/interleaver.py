@@ -58,29 +58,30 @@ def interleave(bits: np.ndarray, block_size: int,
                bits_per_symbol: int) -> np.ndarray:
     """Interleave a coded stream symbol-block by symbol-block.
 
-    ``bits`` length must be a multiple of ``block_size`` (the number of
-    coded bits per OFDM symbol).
+    The last-axis length must be a multiple of ``block_size`` (the
+    number of coded bits per OFDM symbol).  A ``(n_frames, n_bits)``
+    stack is interleaved row by row, preserving its shape.
     """
     bits = np.asarray(bits)
-    if bits.size % block_size != 0:
+    if bits.shape[-1] % block_size != 0:
         raise ValueError(
-            f"stream length {bits.size} not a multiple of block "
+            f"stream length {bits.shape[-1]} not a multiple of block "
             f"size {block_size}")
     perm = interleaver_permutation(block_size, bits_per_symbol)
     blocks = bits.reshape(-1, block_size)
-    return blocks[:, perm].ravel()
+    return blocks[:, perm].reshape(bits.shape)
 
 
 def deinterleave(values: np.ndarray, block_size: int,
                  bits_per_symbol: int) -> np.ndarray:
     """Inverse of :func:`interleave`; works on bits or LLRs."""
     values = np.asarray(values)
-    if values.size % block_size != 0:
+    if values.shape[-1] % block_size != 0:
         raise ValueError(
-            f"stream length {values.size} not a multiple of block "
+            f"stream length {values.shape[-1]} not a multiple of block "
             f"size {block_size}")
     perm = interleaver_permutation(block_size, bits_per_symbol)
     inverse = np.empty_like(perm)
     inverse[perm] = np.arange(block_size)
     blocks = values.reshape(-1, block_size)
-    return blocks[:, inverse].ravel()
+    return blocks[:, inverse].reshape(values.shape)

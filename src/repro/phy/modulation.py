@@ -27,6 +27,7 @@ __all__ = [
     "CONSTELLATIONS",
     "modulate",
     "soft_demap",
+    "soft_demap_batch",
     "hard_demap",
 ]
 
@@ -139,31 +140,78 @@ def soft_demap(received: np.ndarray, modulation: str, noise_var: float,
         Float array of length ``len(received) * bits_per_symbol`` with
         ``log P(y|c=1) - log P(y|c=0)`` per coded bit, in symbol order.
     """
-    const = CONSTELLATIONS[modulation]
     y = np.asarray(received, dtype=np.complex128)
     if gains is None:
-        gains = np.ones(y.size, dtype=np.complex128)
+        gains_2d = None
     else:
         gains = np.asarray(gains, dtype=np.complex128)
         if gains.size != y.size:
             raise ValueError("one channel gain per received symbol required")
-    if noise_var <= 0:
+        gains_2d = gains.ravel()[None, :]
+    return soft_demap_batch(y.ravel()[None, :], modulation, noise_var,
+                            gains=gains_2d, max_log=max_log)[0]
+
+
+def soft_demap_batch(received: np.ndarray, modulation: str,
+                     noise_var, gains: np.ndarray = None,
+                     max_log: bool = False) -> np.ndarray:
+    """Demap a ``(n_frames, n_symbols)`` stack of received symbols.
+
+    The batched kernel behind :func:`soft_demap`: every frame's symbols
+    are demapped together, with an optional per-frame noise variance
+    (SoftRate estimates the noise from each frame's own preamble, so
+    frames of a batch generally carry different estimates).
+
+    Args:
+        received: complex received symbols, shape
+            ``(n_frames, n_symbols)``.
+        modulation: constellation name.
+        noise_var: scalar, or array of ``n_frames`` per-frame noise
+            variance estimates.
+        gains: per-symbol complex channel gains, shape like
+            ``received``; defaults to 1.
+        max_log: use the max-log approximation instead of exact
+            marginalisation.
+
+    Returns:
+        Float array of shape ``(n_frames, n_symbols *
+        bits_per_symbol)``, bit-identical to demapping each row alone.
+    """
+    const = CONSTELLATIONS[modulation]
+    y = np.asarray(received, dtype=np.complex128)
+    if y.ndim != 2:
+        raise ValueError("soft_demap_batch expects a 2-D symbol array")
+    n_frames, n_symbols = y.shape
+    if gains is None:
+        gains = np.ones_like(y)
+    else:
+        gains = np.asarray(gains, dtype=np.complex128)
+        if gains.shape != y.shape:
+            raise ValueError("one channel gain per received symbol required")
+    nv = np.asarray(noise_var, dtype=np.float64)
+    if nv.ndim == 0:
+        nv = np.full(n_frames, float(nv))
+    elif nv.shape != (n_frames,):
+        raise ValueError("noise_var must be scalar or one per frame")
+    if np.any(nv <= 0):
         raise ValueError("noise variance must be positive")
 
-    # Squared distances to each candidate point: (n_symbols, n_points).
-    candidates = gains[:, None] * const.points[None, :]
-    metric = -np.abs(y[:, None] - candidates) ** 2 / noise_var
+    # Squared distances to each candidate point:
+    # (n_frames, n_symbols, n_points).
+    candidates = gains[:, :, None] * const.points[None, None, :]
+    metric = -np.abs(y[:, :, None] - candidates) ** 2 / nv[:, None, None]
 
     bps = const.bits_per_symbol
-    llrs = np.empty((y.size, bps))
+    llrs = np.empty((n_frames, n_symbols, bps))
     for i in range(bps):
         ones = const._ones_mask[i]
         if max_log:
-            llrs[:, i] = metric[:, ones].max(axis=1) - metric[:, ~ones].max(axis=1)
+            llrs[:, :, i] = (metric[:, :, ones].max(axis=-1)
+                             - metric[:, :, ~ones].max(axis=-1))
         else:
-            llrs[:, i] = (logsumexp(metric[:, ones], axis=1)
-                          - logsumexp(metric[:, ~ones], axis=1))
-    return llrs.ravel()
+            llrs[:, :, i] = (logsumexp(metric[:, :, ones], axis=-1)
+                             - logsumexp(metric[:, :, ~ones], axis=-1))
+    return llrs.reshape(n_frames, n_symbols * bps)
 
 
 def hard_demap(received: np.ndarray, modulation: str,

@@ -32,7 +32,7 @@ from repro.phy.bcjr import bcjr_decode
 from repro.phy.convcode import ConvolutionalCode, depuncture, puncture
 from repro.phy.frame import HEADER_BITS, LinkHeader
 from repro.phy.interleaver import deinterleave, interleave
-from repro.phy.modulation import modulate, soft_demap
+from repro.phy.modulation import CONSTELLATIONS, modulate, soft_demap
 from repro.phy.ofdm import FrameLayout, build_layout, training_symbols
 from repro.phy.rates import MODES, RATE_TABLE, OperatingMode, RateTable
 from repro.phy.snr import estimate_preamble_snr
@@ -98,11 +98,24 @@ class RxResult:
     noise_var_est: float
     error_mask: Optional[np.ndarray] = None
     true_ber: Optional[float] = None
+    _hints: Optional[np.ndarray] = field(default=None, init=False,
+                                         repr=False, compare=False)
 
     @property
     def hints(self) -> np.ndarray:
-        """SoftPHY hints: per-bit LLR magnitudes (paper section 3.1)."""
-        return np.abs(self.llrs)
+        """SoftPHY hints: per-bit LLR magnitudes (paper section 3.1).
+
+        The array is computed once and returned **read-only**: several
+        consumers (rate adapters, the interference detector, partial-
+        packet recovery) share one ``RxResult``, so an in-place write
+        by one would silently corrupt the hints every other consumer
+        sees.  Callers that need a scratch buffer must ``.copy()``.
+        """
+        if self._hints is None:
+            hints = np.abs(self.llrs)
+            hints.setflags(write=False)
+            self._hints = hints
+        return self._hints
 
 
 class Transceiver:
@@ -312,8 +325,7 @@ class Transceiver:
         header_bits = self._decode_block(
             rx_symbols[layout.header], gains[layout.header], noise_var,
             layout.header_modulation,
-            1 if layout.header_modulation == "BPSK" else
-            {"QPSK": 2, "QAM16": 4, "QAM64": 6}[layout.header_modulation],
+            CONSTELLATIONS[layout.header_modulation].bits_per_symbol,
             layout.header_code_rate, layout.n_header_mother_bits,
             layout.header_pad_bits, soft=False)
         header, header_ok = LinkHeader.from_bits(header_bits)
@@ -345,3 +357,75 @@ class Transceiver:
                         n_body_symbols=layout.n_body_symbols,
                         snr_db=snr_db, noise_var_est=noise_var,
                         error_mask=error_mask, true_ber=true_ber)
+
+    # ------------------------------------------------------------------
+    # Batched fast path (see repro.phy.batch)
+    # ------------------------------------------------------------------
+
+    def transmit_batch(self, payloads: np.ndarray, rate_index: int,
+                       dest: int = 1, src: int = 0, seqs=None,
+                       flags: int = 0):
+        """Build a :class:`~repro.phy.batch.TxBatch` of equal-length
+        frames; bit-identical to calling :meth:`transmit` per frame."""
+        from repro.phy.batch import batch_transmit
+        return batch_transmit(self, payloads, rate_index, dest=dest,
+                              src=src, seqs=seqs, flags=flags)
+
+    def receive_batch(self, rx_symbols: np.ndarray, gains: np.ndarray,
+                      layout: FrameLayout, tx=None) -> list:
+        """Decode a ``(n_frames, n_symbols, n_subcarriers)`` stack.
+
+        Returns one :class:`RxResult` per frame, bit-identical to
+        calling :meth:`receive` per frame; ``tx`` may be a
+        :class:`~repro.phy.batch.TxBatch` or a single :class:`TxFrame`
+        used as ground truth for every entry.
+        """
+        from repro.phy.batch import batch_receive
+        return batch_receive(self, rx_symbols, gains, layout, tx=tx)
+
+    def run_batch(self, tx, gains: np.ndarray, noise_var, rng,
+                  with_truth: bool = True) -> list:
+        """Push a stack of frames through a channel and batch-decode.
+
+        The Monte Carlo workhorse: one transmitted frame (or a
+        :class:`~repro.phy.batch.TxBatch`), ``n_frames`` independent
+        channel realisations, one batched decode.  AWGN is drawn
+        frame-by-frame in batch order, so for the same ``rng`` state
+        the results are **bit-identical** to a sequential
+        transmit/``apply_channel``/:meth:`receive` loop — batching is
+        purely a throughput knob.
+
+        Args:
+            tx: a :class:`TxFrame` (same frame for every entry) or a
+                :class:`~repro.phy.batch.TxBatch`.
+            gains: per-frame channel gains, ``(n_frames, n_symbols)``
+                or ``(n_frames, n_symbols, n_subcarriers)``.
+            noise_var: scalar or per-frame AWGN variance.
+            rng: random source for the noise draws.
+            with_truth: attach ground-truth error statistics.
+
+        Returns:
+            One :class:`RxResult` per frame.
+        """
+        from repro.channel.awgn import apply_channel
+        gains = np.asarray(gains, dtype=np.complex128)
+        if gains.ndim not in (2, 3):
+            raise ValueError(
+                "run_batch gains must be (n_frames, n_symbols[, "
+                "n_subcarriers])")
+        n_frames = gains.shape[0]
+        symbols = np.asarray(tx.symbols)
+        batched_tx = symbols.ndim == 3
+        if batched_tx and symbols.shape[0] != n_frames:
+            raise ValueError(
+                f"TxBatch has {symbols.shape[0]} frames but gains "
+                f"cover {n_frames}")
+        nv = np.broadcast_to(np.asarray(noise_var, dtype=np.float64),
+                             (n_frames,))
+        frame_shape = symbols.shape[1:] if batched_tx else symbols.shape
+        rx = np.empty((n_frames,) + frame_shape, dtype=np.complex128)
+        for i in range(n_frames):
+            tx_i = symbols[i] if batched_tx else symbols
+            rx[i], _ = apply_channel(tx_i, gains[i], float(nv[i]), rng)
+        return self.receive_batch(rx, gains, tx.layout,
+                                  tx=tx if with_truth else None)

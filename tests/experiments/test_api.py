@@ -215,6 +215,58 @@ class TestDeterministicExperiments:
         assert "18 Mbps" in result.raw.render()
 
 
+class TestBatchSizeKnob:
+    """batch_size is a performance-only parameter: injected by the
+    Runner where declared, excluded from cache identity."""
+
+    def test_spec_declares_batching_support(self):
+        assert get_experiment("fig07").supports_batching
+        assert get_experiment("fig08").supports_batching
+        assert not get_experiment("fig01").supports_batching
+
+    def test_batch_size_excluded_from_content_hash(self):
+        spec = get_experiment("fig07")
+        a = spec.scenario({"batch_size": 1}).content_hash()
+        b = spec.scenario({"batch_size": 64}).content_hash()
+        assert a == b
+        c = spec.scenario({"payload_bits": 8}).content_hash()
+        assert c != a
+
+    def test_runner_injects_batch_size_where_declared(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path),
+                        use_cache=False, batch_size=2)
+        result = runner.run("fig07", {"payload_bits": 104,
+                                      "frames_per_point": 1})
+        assert result.params["batch_size"] == 2
+        # fig01 has no batch_size parameter; the injection must not
+        # trip the spec's unknown-parameter validation.
+        result = runner.run("fig01", {"duration": 0.2})
+        assert "batch_size" not in result.params
+
+    def test_explicit_override_beats_runner_default(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path),
+                        use_cache=False, batch_size=2)
+        result = runner.run("fig07", {"payload_bits": 104,
+                                      "frames_per_point": 1,
+                                      "batch_size": 3})
+        assert result.params["batch_size"] == 3
+
+    def test_cache_hit_across_batch_sizes(self, tmp_path):
+        """A result cached at one batch_size serves every other one —
+        legitimate only because results are provably identical."""
+        overrides = {"payload_bits": 104, "frames_per_point": 1}
+        first = Runner(jobs=1, cache_dir=str(tmp_path),
+                       batch_size=1).run("fig07", overrides)
+        second = Runner(jobs=1, cache_dir=str(tmp_path),
+                        batch_size=4).run("fig07", overrides)
+        assert not first.cached
+        assert second.cached
+        assert second.aggregates == first.aggregates
+        # The hit's record reflects the batch_size asked for *now*,
+        # not the one the cached run happened to use.
+        assert second.params["batch_size"] == 4
+
+
 class TestProtocolRegistry:
     def test_all_protocols_resolve(self):
         from repro.experiments.common import (PROTOCOL_NAMES,

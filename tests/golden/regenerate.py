@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Regenerate the golden PHY regression fixtures.
+
+The goldens pin fig07/fig08-style BER points at fixed seeds: small,
+fully deterministic Monte Carlo runs whose per-frame BER estimates,
+ground truths, and SNR estimates are committed as JSON.  The
+regression test (``tests/test_golden_regression.py``) re-runs the same
+configurations and asserts the numbers still match within a tight
+tolerance, so a PHY refactor cannot silently shift the paper's curves.
+
+Run from the repository root (only needed when a change is *supposed*
+to alter PHY numerics — say so in the commit message):
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+The configuration of each golden lives inside the fixture file itself;
+the test replays whatever config it finds, so regenerating with a new
+config here never desynchronises the two.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+GOLDEN_PATH = os.path.join(GOLDEN_DIR, "phy_ber_points.json")
+
+#: The pinned configurations.  Small enough to run in seconds, broad
+#: enough to cover every modulation, both puncturing rates, padded
+#: tails, and (fig08) fading channels with per-frame noise estimates.
+CONFIGS = {
+    "fig07": {
+        "seed": 7,
+        "payload_bits": 368,
+        "frames_per_point": 2,
+        "snr_grid_db": [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0],
+        "rate_indices": [0, 1, 2, 3, 4, 5],
+    },
+    "fig08": {
+        "seed": 8,
+        "payload_bits": 368,
+        "n_frames": 8,
+        "rate_index": 3,
+    },
+}
+
+
+def compute_fig07(config):
+    from repro.experiments.fig07_static import run_fig7
+
+    data = run_fig7(seed=config["seed"],
+                    payload_bits=config["payload_bits"],
+                    frames_per_point=config["frames_per_point"],
+                    snr_grid_db=np.asarray(config["snr_grid_db"]),
+                    rate_indices=list(config["rate_indices"]))
+    return {
+        "estimates": data.estimates.tolist(),
+        "truths": data.truths.tolist(),
+        "snr_estimates": data.snr_estimates.tolist(),
+        "error_counts": data.error_counts.astype(int).tolist(),
+        "rate_indices": data.rate_indices.astype(int).tolist(),
+    }
+
+
+def compute_fig08(config):
+    from repro.experiments.fig08_mobile import run_fig8
+
+    data = run_fig8(seed=config["seed"],
+                    payload_bits=config["payload_bits"],
+                    n_frames=config["n_frames"],
+                    rate_index=config["rate_index"])
+    out = {}
+    for label in sorted(data.estimates):
+        out[label] = {
+            "estimates": data.estimates[label].tolist(),
+            "truths": data.truths[label].tolist(),
+            "snrs": data.snrs[label].tolist(),
+        }
+    return out
+
+
+COMPUTERS = {"fig07": compute_fig07, "fig08": compute_fig08}
+
+
+def main() -> int:
+    goldens = {}
+    for name, config in CONFIGS.items():
+        print(f"computing {name} golden ...", flush=True)
+        goldens[name] = {"config": config,
+                         "arrays": COMPUTERS[name](config)}
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(goldens, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

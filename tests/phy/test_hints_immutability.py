@@ -1,0 +1,72 @@
+"""RxResult.hints is shared state: consumers must not corrupt it.
+
+One ``RxResult`` feeds several consumers — the rate adapter, the
+interference detector, partial-packet recovery.  ``hints`` is computed
+once, cached, and returned **read-only**, so a buggy consumer writing
+into it fails loudly instead of silently shifting every later
+consumer's view of the frame.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import apply_channel, noise_var_for_snr_db
+from repro.phy.transceiver import Transceiver
+
+
+@pytest.fixture(scope="module")
+def rx_result():
+    phy = Transceiver()
+    rng = np.random.default_rng(123)
+    payload = rng.integers(0, 2, 104).astype(np.uint8)
+    tx = phy.transmit(payload, 2)
+    gains = np.ones(tx.layout.n_symbols, complex)
+    rx_sym, g = apply_channel(tx.symbols, gains,
+                              noise_var_for_snr_db(5.0), rng)
+    return phy.receive(rx_sym, g, tx.layout, tx_frame=tx)
+
+
+def test_hints_are_read_only(rx_result):
+    hints = rx_result.hints
+    with pytest.raises(ValueError):
+        hints[0] = 0.0
+    with pytest.raises(ValueError):
+        hints *= 0.0
+    with pytest.raises(ValueError):
+        hints.sort()
+
+
+def test_adapter_style_mutation_cannot_corrupt_shared_hints(rx_result):
+    """A rate adapter clobbering its 'own' hints must not change what
+    the next consumer sees."""
+    before = rx_result.hints.copy()
+    try:
+        rx_result.hints[:] = 0.0          # buggy adapter
+    except ValueError:
+        pass
+    assert np.array_equal(rx_result.hints, before)
+    assert np.array_equal(rx_result.hints, np.abs(rx_result.llrs))
+
+
+def test_hints_cached_and_consistent(rx_result):
+    first = rx_result.hints
+    assert rx_result.hints is first       # computed once
+    assert np.array_equal(first, np.abs(rx_result.llrs))
+
+
+def test_copy_is_writable_scratch(rx_result):
+    scratch = rx_result.hints.copy()
+    scratch[:] = 0.0                      # the documented escape hatch
+    assert not np.array_equal(scratch, rx_result.hints)
+
+
+def test_batch_results_have_read_only_hints():
+    phy = Transceiver()
+    rng = np.random.default_rng(7)
+    payloads = rng.integers(0, 2, (3, 104)).astype(np.uint8)
+    tx = phy.transmit_batch(payloads, 1)
+    gains = np.ones((3, tx.layout.n_symbols), complex)
+    for rx in phy.run_batch(tx, gains, noise_var_for_snr_db(6.0),
+                            np.random.default_rng(8)):
+        with pytest.raises(ValueError):
+            rx.hints[0] = 1.0

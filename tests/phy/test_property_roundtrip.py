@@ -1,0 +1,141 @@
+"""Property-based round-trip tests for the PHY's invertible stages.
+
+Hypothesis drives random lengths, seeds, and geometries through the
+algebraic identities the pipeline depends on:
+
+* ``deinterleave . interleave == identity`` (and vice versa) for any
+  valid block geometry — the receiver must undo the transmitter
+  exactly, or coded bits land on the wrong trellis transitions;
+* zero-noise decoding recovers the encoded bits exactly (Viterbi and
+  BCJR, at every puncturing rate) — the code is lossless on a clean
+  channel;
+* ``depuncture . puncture`` restores every surviving position;
+* the scrambler is an involution;
+* the batched encoder equals the scalar encoder row by row.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.phy import bits as bitutil
+from repro.phy.bcjr import bcjr_decode
+from repro.phy.convcode import (ConvolutionalCode, PUNCTURE_PATTERNS,
+                                depuncture, puncture)
+from repro.phy.interleaver import deinterleave, interleave
+from repro.phy.viterbi import viterbi_decode
+
+_CODE = ConvolutionalCode()
+
+# Valid interleaver geometries: block_size must be a multiple of 16
+# columns and of s = max(bps // 2, 1); bps * n_subcarriers layouts
+# always satisfy both, so draw (bps, n_subcarriers) like real modes.
+_GEOMETRY = st.tuples(st.sampled_from([1, 2, 4, 6]),
+                      st.sampled_from([16, 48, 64, 128, 256]))
+
+_RATES = st.sampled_from([Fraction(1, 2), Fraction(2, 3),
+                          Fraction(3, 4)])
+
+
+@settings(max_examples=25, deadline=None)
+@given(geometry=_GEOMETRY, n_blocks=st.integers(1, 4),
+       seed=st.integers(0, 2**32 - 1))
+def test_deinterleave_inverts_interleave(geometry, n_blocks, seed):
+    bps, n_subcarriers = geometry
+    block = bps * n_subcarriers
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=n_blocks * block)
+    assert np.array_equal(
+        deinterleave(interleave(values, block, bps), block, bps),
+        values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(geometry=_GEOMETRY, n_blocks=st.integers(1, 4),
+       seed=st.integers(0, 2**32 - 1))
+def test_interleave_inverts_deinterleave(geometry, n_blocks, seed):
+    bps, n_subcarriers = geometry
+    block = bps * n_subcarriers
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=n_blocks * block)
+    assert np.array_equal(
+        interleave(deinterleave(values, block, bps), block, bps),
+        values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(geometry=_GEOMETRY, n_frames=st.integers(1, 4),
+       seed=st.integers(0, 2**32 - 1))
+def test_interleaver_roundtrip_on_frame_stacks(geometry, n_frames,
+                                               seed):
+    bps, n_subcarriers = geometry
+    block = bps * n_subcarriers
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(n_frames, 2 * block))
+    assert np.array_equal(
+        deinterleave(interleave(values, block, bps), block, bps),
+        values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_info=st.integers(1, 300), seed=st.integers(0, 2**32 - 1),
+       rate=_RATES)
+def test_zero_noise_viterbi_recovers_info(n_info, seed, rate):
+    rng = np.random.default_rng(seed)
+    info = bitutil.random_bits(n_info, rng)
+    coded = _CODE.encode(info)
+    kept = puncture(coded, rate)
+    llrs = depuncture(4.0 * (2.0 * kept.astype(np.float64) - 1.0),
+                      coded.size, rate)
+    assert np.array_equal(viterbi_decode(_CODE, llrs), info)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n_info=st.integers(1, 200), seed=st.integers(0, 2**32 - 1),
+       rate=_RATES)
+def test_zero_noise_bcjr_recovers_info(n_info, seed, rate):
+    rng = np.random.default_rng(seed)
+    info = bitutil.random_bits(n_info, rng)
+    coded = _CODE.encode(info)
+    kept = puncture(coded, rate)
+    llrs = depuncture(4.0 * (2.0 * kept.astype(np.float64) - 1.0),
+                      coded.size, rate)
+    assert np.array_equal(bcjr_decode(_CODE, llrs).bits, info)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_mother=st.integers(2, 400), seed=st.integers(0, 2**32 - 1),
+       rate=_RATES)
+def test_depuncture_restores_surviving_positions(n_mother, seed, rate):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=n_mother)
+    restored = depuncture(puncture(values, rate), n_mother, rate)
+    pattern = PUNCTURE_PATTERNS[rate]
+    mask = np.tile(pattern, -(-n_mother // pattern.size))[:n_mother]
+    assert np.array_equal(restored[mask], values[mask])
+    assert np.all(restored[~mask] == 0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_bits=st.integers(1, 500), seed=st.integers(0, 2**32 - 1),
+       scrambler_seed=st.integers(1, 127))
+def test_scramble_is_involution(n_bits, seed, scrambler_seed):
+    rng = np.random.default_rng(seed)
+    bits = bitutil.random_bits(n_bits, rng)
+    scrambled = bitutil.scramble(bits, scrambler_seed)
+    assert np.array_equal(bitutil.descramble(scrambled, scrambler_seed),
+                          bits)
+    if n_bits > 64:   # whitening actually changed something
+        assert not np.array_equal(scrambled, bits)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_info=st.integers(1, 150), n_frames=st.integers(1, 5),
+       seed=st.integers(0, 2**32 - 1))
+def test_encode_batch_matches_scalar_rows(n_info, n_frames, seed):
+    rng = np.random.default_rng(seed)
+    frames = rng.integers(0, 2, (n_frames, n_info)).astype(np.uint8)
+    batch = _CODE.encode_batch(frames)
+    for i in range(n_frames):
+        assert np.array_equal(batch[i], _CODE.encode(frames[i]))

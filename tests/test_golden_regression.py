@@ -1,0 +1,108 @@
+"""Golden-parity regression: PHY refactors cannot shift paper curves.
+
+``tests/golden/phy_ber_points.json`` pins per-frame BER estimates,
+ground-truth BERs, and SNR estimates of small fig07/fig08-style runs
+at fixed seeds.  These tests replay the configuration stored *inside*
+the fixture and assert the numbers match within a tight tolerance —
+exact determinism modulo floating-point library variation across
+platforms.
+
+If a change is *supposed* to alter PHY numerics, regenerate with
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and call the curve shift out in the commit message.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+_GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "golden", "phy_ber_points.json")
+
+#: Tight but not bit-exact: exp/log implementations may differ in the
+#: last ulp across platforms/BLAS builds, and BER estimates span ~60
+#: decades, so tiny values are compared absolutely.
+_RTOL = 1e-6
+_ATOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with open(_GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _assert_close(name, got, want):
+    got = np.asarray(got, dtype=float)
+    want = np.asarray(want, dtype=float)
+    assert got.shape == want.shape, \
+        f"{name}: shape {got.shape} != golden {want.shape}"
+    if not np.allclose(got, want, rtol=_RTOL, atol=_ATOL):
+        bad = ~np.isclose(got, want, rtol=_RTOL, atol=_ATOL)
+        idx = int(np.argmax(bad))
+        raise AssertionError(
+            f"{name}: {int(bad.sum())}/{bad.size} points shifted; "
+            f"first at index {idx}: got {got.flat[idx]!r}, golden "
+            f"{want.flat[idx]!r}.  If the change is intentional, "
+            f"regenerate with tests/golden/regenerate.py")
+
+
+def test_fig07_ber_points_match_golden(goldens):
+    from repro.experiments.fig07_static import run_fig7
+
+    config = goldens["fig07"]["config"]
+    arrays = goldens["fig07"]["arrays"]
+    data = run_fig7(seed=config["seed"],
+                    payload_bits=config["payload_bits"],
+                    frames_per_point=config["frames_per_point"],
+                    snr_grid_db=np.asarray(config["snr_grid_db"]),
+                    rate_indices=list(config["rate_indices"]))
+    _assert_close("fig07.estimates", data.estimates,
+                  arrays["estimates"])
+    _assert_close("fig07.truths", data.truths, arrays["truths"])
+    _assert_close("fig07.snr_estimates", data.snr_estimates,
+                  arrays["snr_estimates"])
+    assert np.array_equal(data.error_counts,
+                          np.asarray(arrays["error_counts"]))
+    assert np.array_equal(data.rate_indices,
+                          np.asarray(arrays["rate_indices"]))
+
+
+def test_fig07_golden_independent_of_batch_size(goldens):
+    """The throughput knob cannot shift the goldens either."""
+    from repro.experiments.fig07_static import run_fig7
+
+    config = goldens["fig07"]["config"]
+    arrays = goldens["fig07"]["arrays"]
+    data = run_fig7(seed=config["seed"],
+                    payload_bits=config["payload_bits"],
+                    frames_per_point=config["frames_per_point"],
+                    batch_size=1,
+                    snr_grid_db=np.asarray(config["snr_grid_db"]),
+                    rate_indices=list(config["rate_indices"]))
+    _assert_close("fig07.estimates@batch1", data.estimates,
+                  arrays["estimates"])
+
+
+def test_fig08_ber_points_match_golden(goldens):
+    from repro.experiments.fig08_mobile import run_fig8
+
+    config = goldens["fig08"]["config"]
+    arrays = goldens["fig08"]["arrays"]
+    data = run_fig8(seed=config["seed"],
+                    payload_bits=config["payload_bits"],
+                    n_frames=config["n_frames"],
+                    rate_index=config["rate_index"])
+    assert sorted(data.estimates) == sorted(arrays)
+    for label in sorted(arrays):
+        _assert_close(f"fig08.{label}.estimates",
+                      data.estimates[label],
+                      arrays[label]["estimates"])
+        _assert_close(f"fig08.{label}.truths", data.truths[label],
+                      arrays[label]["truths"])
+        _assert_close(f"fig08.{label}.snrs", data.snrs[label],
+                      arrays[label]["snrs"])
