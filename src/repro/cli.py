@@ -10,12 +10,19 @@ Commands:
 * ``thresholds`` — print SoftRate's optimal (alpha, beta) thresholds
   for a frame size / recovery model / separation factor.
 * ``simulate`` — run a TCP uplink simulation over generated traces
-  with a chosen rate adaptation protocol.
+  with a chosen rate adaptation protocol (``--phy-backend`` selects
+  how frame fates are computed).
 * ``list`` — enumerate the registered paper experiments.
 * ``run`` — run one registered experiment (``--set key=val``
   overrides, ``--jobs N`` parallelism, ``--seeds``/``--replicates``
-  fan-out, cached results, JSON/npz output).
+  fan-out, ``--phy-backend full|surrogate``, cached results,
+  JSON/npz output).
 * ``sweep`` — run one experiment across a parameter sweep.
+* ``calibrate`` — regenerate the surrogate PHY backend's calibration
+  table from the full bit-exact pipeline.
+
+See ``docs/`` for the architecture and the figure-by-figure
+reproduction guide.
 """
 
 from __future__ import annotations
@@ -180,14 +187,41 @@ def _cmd_simulate(args) -> int:
     downlinks = walking_traces(args.clients, seed=args.seed + 50)
     factory = protocol_factory(args.protocol,
                                training_trace=uplinks[0])
+    backend = None if args.phy_backend == "trace" else args.phy_backend
     result = run_tcp_uplink(uplinks, downlinks, factory,
                             n_clients=args.clients,
-                            duration=args.duration, seed=args.seed)
+                            duration=args.duration, seed=args.seed,
+                            phy_backend=backend)
     print(f"{args.protocol}: {result.aggregate_mbps:.2f} Mbps "
           f"aggregate over {args.duration:g} s "
           f"({args.clients} clients)")
     for flow, mbps in enumerate(result.per_flow_mbps):
         print(f"  flow {flow}: {mbps:.2f} Mbps")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.phy.calibrate import calibrate
+
+    if args.snr_step <= 0:
+        raise SystemExit("error: --snr-step must be positive")
+    if args.frames_per_point < 1:
+        raise SystemExit("error: --frames-per-point must be >= 1")
+    grid = None
+    if args.snr_min is not None or args.snr_max is not None \
+            or args.snr_step != 1.0:
+        lo = args.snr_min if args.snr_min is not None else -2.0
+        hi = args.snr_max if args.snr_max is not None else 26.0
+        grid = np.arange(lo, hi + args.snr_step / 2, args.snr_step)
+    table = calibrate(snr_grid_db=grid,
+                      frames_per_point=args.frames_per_point,
+                      payload_bits=args.payload_bits, seed=args.seed,
+                      batch_size=args.batch_size,
+                      progress=lambda line: print(line, flush=True))
+    table.save(args.output)
+    print(f"wrote {args.output}: {table.n_rates} rates x "
+          f"{table.snr_grid_db.size} SNR points "
+          f"(estimator noise {table.est_noise_decades:.2f} decades)")
     return 0
 
 
@@ -214,10 +248,11 @@ def _invoke_runner(args, call):
     from repro.experiments.api import (Runner, UnknownExperimentError,
                                        UnknownParameterError)
 
-    runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir,
-                    use_cache=not args.no_cache,
-                    batch_size=args.batch_size)
     try:
+        runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir,
+                        use_cache=not args.no_cache,
+                        batch_size=args.batch_size,
+                        phy_backend=args.phy_backend)
         return call(runner), None
     except UnknownExperimentError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -280,6 +315,11 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
                         "experiments that declare the knob (results "
                         "are identical at any value; higher = faster, "
                         "more memory)")
+    p.add_argument("--phy-backend", default=None,
+                   help="PHY backend (full|surrogate) for experiments "
+                        "that declare the knob; the surrogate is "
+                        "calibrated, not bit-exact, so it changes "
+                        "results and is part of the cache key")
     p.add_argument("--output", help="write result (.json or .npz)")
     p.add_argument("--cache-dir", default=".repro-cache")
     p.add_argument("--no-cache", action="store_true",
@@ -323,6 +363,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients", type=int, default=1)
     p.add_argument("--duration", type=float, default=5.0)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--phy-backend",
+                   choices=["trace", "full", "surrogate"],
+                   default="trace",
+                   help="frame-fate source: precomputed trace columns "
+                        "(default), the bit-exact PHY, or the "
+                        "calibrated surrogate")
+
+    p = sub.add_parser(
+        "calibrate",
+        help="measure the surrogate PHY backend's tables from the "
+             "full bit-exact pipeline")
+    p.add_argument("--output",
+                   default="src/repro/phy/calibration/default.json",
+                   help="where to write the calibration JSON")
+    p.add_argument("--frames-per-point", type=int, default=24,
+                   help="Monte Carlo frames per (rate, SNR) point")
+    p.add_argument("--payload-bits", type=int, default=1600)
+    p.add_argument("--seed", type=int, default=2009)
+    p.add_argument("--batch-size", type=int, default=16)
+    p.add_argument("--snr-min", type=float, default=None,
+                   help="grid start in dB (default -2)")
+    p.add_argument("--snr-max", type=float, default=None,
+                   help="grid end in dB (default 26)")
+    p.add_argument("--snr-step", type=float, default=1.0)
 
     sub.add_parser("list", help="enumerate registered experiments")
 
@@ -347,6 +411,7 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "thresholds": _cmd_thresholds,
     "simulate": _cmd_simulate,
+    "calibrate": _cmd_calibrate,
     "list": _cmd_list,
     "run": _cmd_run,
     "sweep": _cmd_sweep,

@@ -111,6 +111,11 @@ class ExperimentSpec:
     ``params`` is the parameter space: every overridable knob with its
     default value.  ``run()``/``Runner`` reject overrides outside this
     space, so a spec doubles as the experiment's public schema.
+
+    Example::
+
+        spec = get_experiment("fig07")
+        spec.scenario({"payload_bits": 256}).execute()
     """
 
     name: str
@@ -158,7 +163,13 @@ class ExperimentSpec:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One concrete parameterization of a registered experiment."""
+    """One concrete parameterization of a registered experiment.
+
+    Example::
+
+        scenario = get_experiment("fig01").scenario({"duration": 0.5})
+        scenario.content_hash()    # stable cache identity
+    """
 
     experiment: str
     params: Dict[str, Any]
@@ -168,10 +179,16 @@ class Scenario:
 
         Performance-only parameters (:data:`PERF_PARAMS`) are excluded:
         they cannot change results, so one cached record serves every
-        setting.
+        setting.  Surrogate-backend scenarios additionally fold in the
+        calibration table's content digest, so ``repro calibrate``
+        invalidates their cached results instead of silently serving
+        pre-recalibration numbers.
         """
         params = {k: v for k, v in self.params.items()
                   if k not in PERF_PARAMS}
+        if params.get("phy_backend") == "surrogate":
+            from repro.phy.calibration import default_fingerprint
+            params["calibration_fingerprint"] = default_fingerprint()
         payload = (f"v{CACHE_VERSION}:{self.experiment}:"
                    f"{_canonical_json(params)}")
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
@@ -214,6 +231,13 @@ def register_experiment(name: str, *, description: str = "",
     The function is returned unchanged, so modules keep exporting
     their historical ``run_*`` entry points; the registry simply makes
     the same callable reachable as ``run(name, **overrides)``.
+
+    Example::
+
+        @register_experiment("myexp", description="...",
+                             params={"seed": 1})
+        def run_myexp(seed=1):
+            return {"metric": float(seed)}
     """
     def decorate(fn: Callable) -> Callable:
         existing = _REGISTRY.get(name)
@@ -231,13 +255,29 @@ def register_experiment(name: str, *, description: str = "",
 
 
 def load_all() -> None:
-    """Import every experiment module so the registry is complete."""
+    """Import every experiment module so the registry is complete.
+
+    Idempotent; called automatically by every registry lookup.
+
+    Example::
+
+        load_all()
+        len(experiment_names())    # 12
+    """
     for module in _EXPERIMENT_MODULES:
         importlib.import_module(f"repro.experiments.{module}")
 
 
 def get_experiment(name: str) -> ExperimentSpec:
-    """Look up a registered spec, importing modules on first use."""
+    """Look up a registered spec, importing modules on first use.
+
+    Raises :class:`UnknownExperimentError` (listing the available
+    names) for anything unregistered.
+
+    Example::
+
+        get_experiment("fig13").algorithms    # ("omniscient", ...)
+    """
     if name not in _REGISTRY:
         load_all()
     try:
@@ -249,11 +289,24 @@ def get_experiment(name: str) -> ExperimentSpec:
 
 
 def experiment_names() -> List[str]:
+    """All registered experiment names, sorted (deterministic order).
+
+    Example::
+
+        experiment_names()[:2]    # ["fig01", "fig03"]
+    """
     load_all()
     return sorted(_REGISTRY)
 
 
 def list_experiments() -> List[ExperimentSpec]:
+    """Registered specs in :func:`experiment_names` order — the exact
+    row order ``repro list`` prints.
+
+    Example::
+
+        [spec.name for spec in list_experiments()]   # sorted ids
+    """
     return [_REGISTRY[name] for name in experiment_names()]
 
 
@@ -269,6 +322,12 @@ class ExperimentResult:
     ``aggregates`` is their nan-aware mean.  ``raw`` is the last
     replicate's native result object (kept only for in-process serial
     runs; never serialized).
+
+    Example::
+
+        result = run("fig01", duration=0.5)
+        result.aggregates["fade_depth_db"]
+        result.save("fig01.json")
     """
 
     experiment: str
@@ -282,6 +341,13 @@ class ExperimentResult:
     raw: Any = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (non-finite floats become ``null`` /
+        ``"inf"`` strings); inverse of :meth:`from_dict`.
+
+        Example::
+
+            run("tab02").to_dict()["experiment"]    # "tab02"
+        """
         return {
             "experiment": self.experiment,
             "params": _canonical(self.params),
@@ -293,10 +359,23 @@ class ExperimentResult:
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize to a strict-JSON string (see :meth:`to_dict`).
+
+        Example::
+
+            path.write_text(result.to_json())
+        """
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (``raw`` is
+        not serialized and stays ``None``).
+
+        Example::
+
+            ExperimentResult.from_dict(result.to_dict())
+        """
         return cls(experiment=data["experiment"],
                    params=dict(data["params"]),
                    seeds=list(data["seeds"]),
@@ -308,6 +387,12 @@ class ExperimentResult:
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`.
+
+        Example::
+
+            ExperimentResult.from_json(path.read_text()).aggregates
+        """
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str) -> None:
@@ -320,6 +405,14 @@ class ExperimentResult:
                 fh.write("\n")
 
     def save_npz(self, path: str) -> None:
+        """Write per-seed metric arrays plus aggregates as ``.npz``
+        (full JSON metadata embedded under the ``metadata`` key).
+
+        Example::
+
+            result.save_npz("out.npz")
+            np.load("out.npz")["aggregate/mbps"]
+        """
         arrays: Dict[str, np.ndarray] = {
             "metadata": np.array(self.to_json(indent=None))}
         keys = sorted({k for d in self.per_seed for k in d})
@@ -332,7 +425,12 @@ class ExperimentResult:
 
 
 def derive_seeds(base_seed: int, n: int) -> List[int]:
-    """``n`` deterministic, well-separated seeds from ``base_seed``."""
+    """``n`` deterministic, well-separated seeds from ``base_seed``.
+
+    Example::
+
+        Runner(jobs=4).run("fig05", seeds=derive_seeds(0, 4))
+    """
     state = np.random.SeedSequence(base_seed).generate_state(n)
     return [int(s) for s in state]
 
@@ -378,11 +476,29 @@ class Runner:
             the raw result object on the returned record).
         cache_dir: directory for cached result JSON (created lazily).
         use_cache: read/write the cache; disable for benchmarking.
+        batch_size: injected as the ``batch_size`` override for specs
+            that declare the knob — a pure throughput setting,
+            excluded from cache hashes (:data:`PERF_PARAMS`).
+        phy_backend: PHY backend name (``"full"`` / ``"surrogate"``)
+            injected for specs that declare a ``phy_backend``
+            parameter.  Unlike ``batch_size`` it **changes results**
+            (the surrogate is calibrated, not bit-exact), so it
+            participates in cache hashes like any other parameter.
+
+    Raises:
+        ValueError: ``phy_backend`` names no known backend; the
+            message lists the valid names.
+
+    Example::
+
+        Runner(jobs=4, phy_backend="surrogate").run(
+            "fig07", seeds=[1, 2, 3, 4])
     """
 
     def __init__(self, jobs: int = 1, cache_dir: str = ".repro-cache",
                  use_cache: bool = True,
-                 batch_size: Optional[int] = None):
+                 batch_size: Optional[int] = None,
+                 phy_backend: Optional[str] = None):
         self.jobs = max(int(jobs), 1)
         self.cache_dir = cache_dir
         self.use_cache = use_cache
@@ -391,16 +507,26 @@ class Runner:
         #: without it are unaffected, so sweeps can pass one value for
         #: a mixed bag of experiments.
         self.batch_size = batch_size
+        if phy_backend is not None:
+            from repro.phy.backend import validate_backend_name
+            validate_backend_name(phy_backend)
+        #: Backend name injected for specs declaring ``phy_backend``.
+        self.phy_backend = phy_backend
 
-    def _with_batch_size(self, spec: ExperimentSpec,
-                         overrides: Optional[Mapping[str, Any]]
-                         ) -> Dict[str, Any]:
-        """Merge the runner's batch_size into ``overrides`` where the
-        spec declares the knob and the caller did not pin it."""
+    def _with_runner_knobs(self, spec: ExperimentSpec,
+                           overrides: Optional[Mapping[str, Any]]
+                           ) -> Dict[str, Any]:
+        """Merge the runner's batch_size / phy_backend into
+        ``overrides`` where the spec declares the knob and the caller
+        did not pin it."""
         merged = dict(overrides or {})
         if (self.batch_size is not None and spec.supports_batching
                 and "batch_size" not in merged):
             merged["batch_size"] = int(self.batch_size)
+        if (self.phy_backend is not None
+                and "phy_backend" in spec.params
+                and "phy_backend" not in merged):
+            merged["phy_backend"] = self.phy_backend
         return merged
 
     # -- caching ------------------------------------------------------
@@ -483,7 +609,7 @@ class Runner:
         deterministically, and ``aggregates`` averages the replicates.
         """
         spec = get_experiment(name)
-        base = spec.scenario(self._with_batch_size(spec, overrides))
+        base = spec.scenario(self._with_runner_knobs(spec, overrides))
         seed_list = list(seeds) if seeds is not None else None
         if seed_list and spec.seed_param is None:
             raise ValueError(
@@ -537,7 +663,7 @@ class Runner:
         runs: List[Optional[ExperimentResult]] = []
         pending: List[Tuple[int, Scenario, str, List[Scenario]]] = []
         for value in values:
-            merged = self._with_batch_size(spec, overrides)
+            merged = self._with_runner_knobs(spec, overrides)
             merged[param] = value
             base = spec.scenario(merged)
             key = self._run_key(base, seed_list)

@@ -22,6 +22,7 @@ from repro.analysis.binning import (BinnedBer, aggregate_bits_per_bin,
                                     log_bin_ber)
 from repro.core.hints import frame_ber_estimate
 from repro.experiments.api import register_experiment
+from repro.phy.rates import RATE_TABLE
 from repro.phy.snr import db_to_linear
 from repro.phy.transceiver import Transceiver
 
@@ -88,12 +89,13 @@ def _metrics(data: Fig7Data) -> dict:
     "fig07",
     description="SoftPHY vs SNR BER estimation on a static channel",
     params={"seed": 7, "payload_bits": 1600, "frames_per_point": 4,
-            "batch_size": 16},
+            "batch_size": 16, "phy_backend": "full"},
     traces=(), algorithms=(), metrics=_metrics)
 def run_fig7(seed: int = 7, payload_bits: int = 1600,
              frames_per_point: int = 4, batch_size: int = 16,
              snr_grid_db: np.ndarray = None,
-             rate_indices: List[int] = None) -> Fig7Data:
+             rate_indices: List[int] = None,
+             phy_backend="full") -> Fig7Data:
     """Run the static BER-estimation experiment.
 
     The default grid covers each rate's waterfall region so the
@@ -104,16 +106,29 @@ def run_fig7(seed: int = 7, payload_bits: int = 1600,
     the results are bit-identical for every ``batch_size`` (including
     1, the per-frame reference path) — the knob only trades memory for
     throughput.
+
+    ``phy_backend`` selects how frames are computed: ``"full"`` (the
+    bit-exact pipeline, default) or ``"surrogate"`` (the calibrated
+    table-driven backend of :mod:`repro.phy.backend` — statistically
+    matched, not bit-identical, orders of magnitude faster).
     """
     rng = np.random.default_rng(seed)
-    phy = Transceiver()
+    rates = RATE_TABLE.prototype_subset()
     if rate_indices is None:
-        rate_indices = list(range(len(phy.rates)))
+        rate_indices = list(range(len(rates)))
     if snr_grid_db is None:
         snr_grid_db = np.arange(0.0, 19.0, 1.0)
     batch_size = max(int(batch_size), 1)
-    payload = rng.integers(0, 2, payload_bits).astype(np.uint8)
 
+    if phy_backend != "full":
+        from repro.phy.backend import get_backend
+        backend = get_backend(phy_backend, rates=rates)
+        return _run_fig7_backend(backend, rng, payload_bits,
+                                 frames_per_point, snr_grid_db,
+                                 rate_indices)
+
+    phy = Transceiver(rates=rates)
+    payload = rng.integers(0, 2, payload_bits).astype(np.uint8)
     estimates, truths, errors, snrs, rates_used = [], [], [], [], []
     for rate_index in rate_indices:
         tx = phy.transmit(payload, rate_index=rate_index)
@@ -130,6 +145,35 @@ def run_fig7(seed: int = 7, payload_bits: int = 1600,
                 truths.append(rx.true_ber)
                 errors.append(int(rx.error_mask.sum()))
                 snrs.append(rx.snr_db)
+                rates_used.append(rate_index)
+    return Fig7Data(estimates=np.array(estimates),
+                    truths=np.array(truths),
+                    error_counts=np.array(errors),
+                    snr_estimates=np.array(snrs),
+                    rate_indices=np.array(rates_used),
+                    bits_per_frame=payload_bits + 32)
+
+
+def _run_fig7_backend(backend, rng, payload_bits: int,
+                      frames_per_point: int, snr_grid_db,
+                      rate_indices) -> Fig7Data:
+    """The fig07 sweep through a :class:`PhyBackend`.
+
+    Same (rate, SNR, frame) visit order as the bit-exact path, but
+    each frame outcome comes from ``backend.frame_outcome`` on a flat
+    SNR trajectory.
+    """
+    estimates, truths, errors, snrs, rates_used = [], [], [], [], []
+    for rate_index in rate_indices:
+        for snr_db in snr_grid_db:
+            trajectory = np.array([float(snr_db)])
+            for _ in range(frames_per_point):
+                out = backend.frame_outcome(rate_index, trajectory,
+                                            payload_bits, rng)
+                estimates.append(out.ber_est)
+                truths.append(out.ber_true)
+                errors.append(out.n_bit_errors)
+                snrs.append(out.snr_db)
                 rates_used.append(rate_index)
     return Fig7Data(estimates=np.array(estimates),
                     truths=np.array(truths),

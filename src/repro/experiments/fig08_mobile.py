@@ -23,7 +23,7 @@ from repro.channel.awgn import apply_channel
 from repro.channel.rayleigh import RayleighFadingProcess
 from repro.core.hints import frame_ber_estimate
 from repro.experiments.api import register_experiment
-from repro.phy.snr import db_to_linear
+from repro.phy.snr import db_to_linear, snr_to_db
 from repro.phy.transceiver import Transceiver
 
 __all__ = ["MobileBerData", "run_fig8"]
@@ -107,14 +107,14 @@ def _metrics(data: MobileBerData) -> dict:
     "fig08",
     description="BER estimation across mobility speeds (Figs. 8 & 9)",
     params={"seed": 8, "payload_bits": 1600, "n_frames": 60,
-            "rate_index": 3, "batch_size": 16},
+            "rate_index": 3, "batch_size": 16, "phy_backend": "full"},
     traces=("rayleigh",), algorithms=(), metrics=_metrics)
 def run_fig8(seed: int = 8, payload_bits: int = 1600,
              n_frames: int = 60, rate_index: int = 3,
              batch_size: int = 16,
              dopplers: Dict[str, float] = None,
-             mean_snr_range_db: Tuple[float, float] = (4.0, 14.0)
-             ) -> MobileBerData:
+             mean_snr_range_db: Tuple[float, float] = (4.0, 14.0),
+             phy_backend="full") -> MobileBerData:
     """Collect per-frame BER estimates across mobility speeds.
 
     Each frame sees an independent fading realisation whose mean SNR is
@@ -125,11 +125,29 @@ def run_fig8(seed: int = 8, payload_bits: int = 1600,
     PHY fast path; fading and noise are drawn frame-by-frame in the
     original sequential order, so results are bit-identical for every
     ``batch_size`` (1 reproduces the per-frame reference path).
+
+    ``phy_backend`` selects how frames are computed: ``"full"`` (the
+    bit-exact pipeline, default) or ``"surrogate"`` (the calibrated
+    table-driven backend — statistically matched, not bit-identical,
+    orders of magnitude faster).
     """
     if dopplers is None:
         dopplers = {"walking": 40.0, "vehicular": 400.0}
     phy = Transceiver()
     batch_size = max(int(batch_size), 1)
+
+    if phy_backend != "full":
+        from repro.phy.backend import get_backend
+        backend = get_backend(phy_backend, rates=phy.rates)
+        # Layout arithmetic only — no need to modulate a frame the
+        # surrogate will never decode.
+        n_symbols = phy.frame_layout(payload_bits,
+                                     rate_index).n_symbols
+        return _run_fig8_backend(
+            backend, seed, payload_bits, n_frames, rate_index,
+            dopplers, mean_snr_range_db, n_symbols,
+            phy.mode.symbol_time)
+
     payload = np.random.default_rng(seed).integers(
         0, 2, payload_bits).astype(np.uint8)
     tx = phy.transmit(payload, rate_index=rate_index)
@@ -157,6 +175,42 @@ def run_fig8(seed: int = 8, payload_bits: int = 1600,
                 est.append(frame_ber_estimate(rx.hints))
                 tru.append(rx.true_ber)
                 snr.append(rx.snr_db)
+        estimates[label] = np.array(est)
+        truths[label] = np.array(tru)
+        snrs[label] = np.array(snr)
+    return MobileBerData(doppler_hz=dict(dopplers), estimates=estimates,
+                         truths=truths, snrs=snrs)
+
+
+def _run_fig8_backend(backend, seed: int, payload_bits: int,
+                      n_frames: int, rate_index: int,
+                      dopplers: Dict[str, float],
+                      mean_snr_range_db: Tuple[float, float],
+                      n_symbols: int, symbol_time: float
+                      ) -> MobileBerData:
+    """The fig08 sweep through a :class:`PhyBackend`.
+
+    Draws the same kind of per-frame fading trajectories as the
+    bit-exact path (uniform mean SNR across the waterfall, one
+    independent Rayleigh realisation per frame) and hands the
+    per-symbol SNR trajectory to ``backend.frame_outcome``.
+    """
+    estimates, truths, snrs = {}, {}, {}
+    for label, doppler in dopplers.items():
+        rng = np.random.default_rng(seed + int(doppler))
+        est, tru, snr = [], [], []
+        for _ in range(n_frames):
+            mean_snr = rng.uniform(*mean_snr_range_db)
+            fading = RayleighFadingProcess(doppler, rng)
+            amplitude = np.sqrt(db_to_linear(mean_snr))
+            gains = amplitude * fading.symbol_gains(
+                0.0, n_symbols, symbol_time)
+            trajectory = snr_to_db(np.abs(gains) ** 2)
+            out = backend.frame_outcome(rate_index, trajectory,
+                                        payload_bits, rng)
+            est.append(out.ber_est)
+            tru.append(out.ber_true)
+            snr.append(out.snr_db)
         estimates[label] = np.array(est)
         truths[label] = np.array(tru)
         snrs[label] = np.array(snr)

@@ -48,7 +48,7 @@ def _metrics(result: "SlowFadingResult") -> dict:
     "fig13",
     description="TCP throughput over slow-fading mobile channels",
     params={"client_counts": (1, 2, 3, 4, 5), "duration": 5.0,
-            "seeds": (1, 2), "trace_seed": 2009},
+            "seeds": (1, 2), "trace_seed": 2009, "phy_backend": None},
     traces=("walking",),
     algorithms=("omniscient", "softrate", "snr", "charm", "rraa",
                 "samplerate"),
@@ -58,7 +58,7 @@ def run_fig13(client_counts: Sequence[int] = (1, 2, 3, 4, 5),
               trace_seed: int = 2009,
               uplink_traces: Sequence[LinkTrace] = None,
               downlink_traces: Sequence[LinkTrace] = None,
-              algorithms=None) -> SlowFadingResult:
+              algorithms=None, phy_backend=None) -> SlowFadingResult:
     """Run the slow-fading TCP experiment.
 
     Args:
@@ -69,6 +69,10 @@ def run_fig13(client_counts: Sequence[int] = (1, 2, 3, 4, 5),
         uplink_traces / downlink_traces: override the default walking
             traces (one per client, both directions).
         algorithms: override the (name, factory) list.
+        phy_backend: ``None`` for the traces' precomputed frame fates,
+            or ``"full"`` / ``"surrogate"`` to recompute each fate from
+            the SNR trajectory (see :mod:`repro.phy.backend`; the
+            omniscient baseline still reads the precomputed trace).
     """
     n_max = max(client_counts)
     if uplink_traces is None:
@@ -85,7 +89,8 @@ def run_fig13(client_counts: Sequence[int] = (1, 2, 3, 4, 5),
         for n in client_counts:
             outcome = averaged_tcp_throughput(
                 uplink_traces[:n], downlink_traces[:n], factory,
-                n_clients=n, duration=duration, seeds=seeds)
+                n_clients=n, duration=duration, seeds=seeds,
+                phy_backend=phy_backend)
             per_n.append(outcome["mbps"])
             if n == 1:
                 log = outcome["last_result"].frame_logs[1]

@@ -55,21 +55,28 @@ def _metrics(result: "FastFadingResult") -> dict:
     description="TCP throughput in fast-fading channels (no retraining)",
     params={"coherence_times": (1e-3, 500e-6, 200e-6, 100e-6),
             "duration": 4.0, "seeds": (1, 2), "mean_snr_db": 22.0,
-            "trace_seed": 16},
+            "trace_seed": 16, "phy_backend": None},
     traces=("rayleigh", "walking"),
     algorithms=("softrate", "snr", "rraa", "samplerate", "omniscient"),
     seed_param="seeds", metrics=_metrics)
 def run_fig16(coherence_times: Sequence[float] = (1e-3, 500e-6, 200e-6,
                                                   100e-6),
               duration: float = 4.0, seeds=(1, 2),
-              mean_snr_db: float = 22.0, trace_seed: int = 16
-              ) -> FastFadingResult:
+              mean_snr_db: float = 22.0, trace_seed: int = 16,
+              phy_backend=None) -> FastFadingResult:
     """Run the fast-fading sweep.
 
     The SNR-based protocol is trained on *walking* traces (40 Hz), as
     in the paper: "the SNR-BER relationships used by the SNR-based
     protocol are obtained over the walking traces used in section 6.2"
     — which is exactly what makes it untrained for these channels.
+
+    ``phy_backend`` selects frame-fate computation for the TCP
+    simulations: ``None`` (precomputed trace columns), ``"full"``, or
+    ``"surrogate"`` (see :mod:`repro.phy.backend`).  Caveat: the
+    omniscient baseline's *rate choices* still come from the
+    precomputed trace, so under a backend it is a strong heuristic
+    rather than a true oracle — normalized values may exceed 1.0.
     """
     walking = walking_traces(1, seed=trace_seed)[0]
     algorithms = [
@@ -92,12 +99,13 @@ def run_fig16(coherence_times: Sequence[float] = (1e-3, 500e-6, 200e-6,
                                  seed=trace_seed + 100 + i)
         baseline = averaged_tcp_throughput(
             up, down, omniscient_factory, n_clients=1,
-            duration=duration, seeds=seeds)["mbps"]
+            duration=duration, seeds=seeds,
+            phy_backend=phy_backend)["mbps"]
         omniscient_mbps.append(baseline)
         for name, factory in algorithms:
             mbps = averaged_tcp_throughput(
                 up, down, factory, n_clients=1, duration=duration,
-                seeds=seeds)["mbps"]
+                seeds=seeds, phy_backend=phy_backend)["mbps"]
             normalized[name].append(
                 mbps / baseline if baseline > 0 else 0.0)
     return FastFadingResult(coherence_times=list(coherence_times),

@@ -11,9 +11,16 @@ GNU Radio prototype of the SoftRate paper (SIGCOMM 2009, section 4):
   SoftPHY hints used by :mod:`repro.core`,
 * a frame-batched fast path (:mod:`repro.phy.batch`) that pushes a
   ``(n_frames, ...)`` stack through the same pipeline bit-identically,
-  amortising the Python-level trellis loops across the batch.
+  amortising the Python-level trellis loops across the batch,
+* pluggable PHY backends (:mod:`repro.phy.backend`): the bit-exact
+  pipeline and a calibrated table-driven surrogate
+  (:mod:`repro.phy.calibrate`) behind one frame-outcome contract, so
+  simulations choose fidelity vs orders-of-magnitude throughput.
 """
 
+from repro.phy.backend import (FullPhyBackend, PhyBackend,
+                               PhyFrameOutcome, SurrogatePhyBackend,
+                               UnknownBackendError, get_backend)
 from repro.phy.batch import TxBatch, batch_receive, batch_transmit
 from repro.phy.rates import RateTable, Rate, RATE_TABLE, OperatingMode, MODES
 from repro.phy.transceiver import Transceiver, RxResult
@@ -29,4 +36,10 @@ __all__ = [
     "TxBatch",
     "batch_transmit",
     "batch_receive",
+    "PhyBackend",
+    "PhyFrameOutcome",
+    "FullPhyBackend",
+    "SurrogatePhyBackend",
+    "UnknownBackendError",
+    "get_backend",
 ]

@@ -61,6 +61,12 @@ class TxBatch:
         symbols: ``(n_frames, n_symbols, n_subcarriers)`` complex OFDM
             symbols.
         layout: the shared frame geometry.
+
+    Example::
+
+        batch = phy.transmit_batch(payloads, rate_index=3)
+        batch.symbols.shape        # (n_frames, n_symbols, n_sub)
+        batch.frame(0)             # scalar TxFrame view of entry 0
     """
 
     headers: List[LinkHeader]
@@ -118,6 +124,11 @@ def batch_transmit(phy, payloads: np.ndarray, rate_index: int,
     Returns:
         A :class:`TxBatch` whose ``symbols[i]`` are bit-identical to
         ``phy.transmit(payloads[i], ...).symbols``.
+
+    Example::
+
+        payloads = rng.integers(0, 2, (64, 1600)).astype(np.uint8)
+        batch = batch_transmit(phy, payloads, rate_index=3)
     """
     payloads = np.asarray(payloads, dtype=np.uint8)
     if payloads.ndim != 2:
@@ -235,6 +246,12 @@ def batch_receive(phy, rx_symbols: np.ndarray, gains: np.ndarray,
         A list of per-frame :class:`~repro.phy.transceiver.RxResult`,
         bit-identical to calling :meth:`Transceiver.receive` on each
         frame.
+
+    Example::
+
+        results = batch_receive(phy, rx_stack, gains, batch.layout,
+                                tx=batch)
+        [r.crc_ok for r in results]       # per-frame delivery
     """
     from repro.phy.transceiver import RxResult
 

@@ -1,0 +1,63 @@
+"""Checked-in calibration tables for the surrogate PHY backend.
+
+``default.json`` is generated from the full bit-exact PHY by
+``repro calibrate`` (see :mod:`repro.phy.calibrate`) and shipped with
+the source tree so ``--phy-backend surrogate`` works out of the box.
+Regenerate after any change to the PHY numerics::
+
+    PYTHONPATH=src python -m repro calibrate \
+        --output src/repro/phy/calibration/default.json
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.phy.calibrate import CalibrationTable
+
+__all__ = ["default_table", "default_fingerprint",
+           "DEFAULT_CALIBRATION_PATH"]
+
+#: Location of the checked-in default calibration table.
+DEFAULT_CALIBRATION_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "default.json")
+
+_CACHE: Optional[CalibrationTable] = None
+_FINGERPRINT: Optional[str] = None
+
+
+def default_table() -> CalibrationTable:
+    """The checked-in calibration table (loaded once, then cached).
+
+    Example::
+
+        from repro.phy.calibration import default_table
+
+        table = default_table()
+        table.bit_error_rate(3, 8.0)    # calibrated BER lookup
+    """
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = CalibrationTable.load(DEFAULT_CALIBRATION_PATH)
+    return _CACHE
+
+
+def default_fingerprint() -> str:
+    """Short content digest of the checked-in calibration table.
+
+    Surrogate-backend results depend on the table, so the experiment
+    result cache folds this digest into its content hashes — a
+    ``repro calibrate`` regeneration invalidates stale surrogate
+    entries instead of silently serving them.
+
+    Example::
+
+        default_fingerprint()    # e.g. "1f2a0c9b83d4"
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import hashlib
+        with open(DEFAULT_CALIBRATION_PATH, "rb") as fh:
+            _FINGERPRINT = hashlib.sha256(fh.read()).hexdigest()[:12]
+    return _FINGERPRINT

@@ -22,14 +22,24 @@ __all__ = ["estimate_preamble_snr", "true_average_snr_db", "snr_to_db",
            "db_to_linear"]
 
 
-def snr_to_db(snr_linear: float) -> float:
-    """Linear SNR to decibels (floored to avoid log of zero)."""
-    return 10.0 * np.log10(max(snr_linear, 1e-12))
+def snr_to_db(snr_linear):
+    """Linear SNR to decibels (floored to avoid log of zero).
+
+    Scalars return ``float``; arrays convert elementwise.
+    """
+    values = np.maximum(np.asarray(snr_linear, dtype=np.float64),
+                        1e-12)
+    out = 10.0 * np.log10(values)
+    return float(out) if np.ndim(snr_linear) == 0 else out
 
 
-def db_to_linear(snr_db: float) -> float:
-    """Decibel SNR to linear scale."""
-    return float(10.0 ** (snr_db / 10.0))
+def db_to_linear(snr_db):
+    """Decibel SNR to linear scale.
+
+    Scalars return ``float``; arrays convert elementwise.
+    """
+    out = 10.0 ** (np.asarray(snr_db, dtype=np.float64) / 10.0)
+    return float(out) if np.ndim(snr_db) == 0 else out
 
 
 def estimate_preamble_snr(rx_preamble: np.ndarray,

@@ -33,6 +33,15 @@ class RateAdapter(abc.ABC):
         rates: the available bit rates.
         initial_rate: starting rate index (defaults to the middle of
             the table, like common driver implementations).
+
+    Example — the full life of one transmission::
+
+        adapter = SoftRate(RATE_TABLE.prototype_subset())
+        rate = adapter.choose_rate(now)
+        ...                        # MAC transmits at `rate`
+        adapter.on_feedback(now, rate, feedback, airtime)   # ACKed
+        # or, when no feedback of any kind arrived:
+        adapter.on_silent_loss(now, rate, airtime)
     """
 
     #: Human-readable protocol name (overridden by subclasses).

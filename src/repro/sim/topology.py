@@ -93,6 +93,10 @@ class AccessPointNetwork:
             fidelity (see :class:`repro.sim.wireless.WirelessChannel`).
         mac_config: MAC parameters; the default queue size tracks the
             paper's "slightly exceeds the bandwidth-delay product".
+        phy_backend: ``None`` for the traces' precomputed frame fates,
+            or a :class:`repro.phy.backend.PhyBackend` / backend name
+            (``"full"`` / ``"surrogate"``) to recompute each fate from
+            the trace's SNR trajectory.
     """
 
     def __init__(self, n_clients: int,
@@ -102,7 +106,8 @@ class AccessPointNetwork:
                  rates: Optional[RateTable] = None, seed: int = 1,
                  carrier_sense_prob: float = 1.0,
                  detect_prob: float = 0.8, use_postambles: bool = True,
-                 mac_config: Optional[MacConfig] = None):
+                 mac_config: Optional[MacConfig] = None,
+                 phy_backend=None):
         if n_clients < 1:
             raise ValueError("need at least one client")
         if len(uplink_traces) < n_clients or \
@@ -126,9 +131,16 @@ class AccessPointNetwork:
                 return 1.0
             return carrier_sense_prob
 
+        if phy_backend is not None:
+            # Resolve with *this* network's rate table: a backend
+            # built against the default table would mis-index (or
+            # silently mis-model) any custom rate set.
+            from repro.phy.backend import get_backend
+            phy_backend = get_backend(phy_backend, rates=self.rates)
         self.channel = WirelessChannel(
             traces, rng, detect_prob=detect_prob,
-            use_postambles=use_postambles, carrier_sense_prob=cs_prob)
+            use_postambles=use_postambles, carrier_sense_prob=cs_prob,
+            phy_backend=phy_backend)
 
         config = mac_config if mac_config is not None else MacConfig()
         airtime = make_airtime_fn(self.rates)
@@ -220,12 +232,20 @@ def run_tcp_uplink(uplink_traces: Sequence[LinkTrace],
                    n_clients: int, duration: float = 10.0, seed: int = 1,
                    carrier_sense_prob: float = 1.0,
                    detect_prob: float = 0.8, use_postambles: bool = True,
-                   rates: Optional[RateTable] = None) -> TcpUplinkResult:
-    """Build the Fig. 12 topology, run N uplink TCP flows, return results."""
+                   rates: Optional[RateTable] = None,
+                   phy_backend=None) -> TcpUplinkResult:
+    """Build the Fig. 12 topology, run N uplink TCP flows, return results.
+
+    ``phy_backend`` selects how frame fates are computed: ``None`` for
+    the traces' precomputed columns, ``"full"`` / ``"surrogate"`` (or
+    a :class:`repro.phy.backend.PhyBackend`) to recompute them per
+    transmission from the SNR trajectory.
+    """
     network = AccessPointNetwork(
         n_clients=n_clients, uplink_traces=uplink_traces,
         downlink_traces=downlink_traces, adapter_factory=adapter_factory,
         rates=rates, seed=seed, carrier_sense_prob=carrier_sense_prob,
-        detect_prob=detect_prob, use_postambles=use_postambles)
+        detect_prob=detect_prob, use_postambles=use_postambles,
+        phy_backend=phy_backend)
     network.add_tcp_uplink_flows()
     return network.run(duration)

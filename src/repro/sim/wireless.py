@@ -21,6 +21,17 @@ The overlap geometry implements section 3.2's taxonomy:
   preamble; if its **postamble** outlives the interference the
   receiver still learns of the frame (postamble feedback), otherwise
   the loss is *silent*.
+
+The *clean-channel* outcome of a frame (delivery, BER, SoftPHY
+feedback) can come from two sources, selected by ``phy_backend``:
+
+* ``None`` (default) — the precomputed per-slot, per-rate columns of
+  the :class:`LinkTrace` (the paper's methodology, fastest);
+* a :class:`repro.phy.backend.PhyBackend` (or its name) — the fate is
+  recomputed per transmission from the trace's true-SNR trajectory,
+  either bit-exactly (``"full"``) or through the calibrated surrogate
+  (``"surrogate"``).  The collision geometry above is orthogonal and
+  applies identically in every case.
 """
 
 from __future__ import annotations
@@ -111,15 +122,29 @@ class WirelessChannel:
             probability`` that ``listener`` senses ``transmitter``'s
             transmissions (paper section 6.4 sweeps this); default
             perfect carrier sense.
+        phy_backend: ``None`` to use the traces' precomputed frame
+            fates, or a :class:`repro.phy.backend.PhyBackend` /
+            backend name (``"full"`` / ``"surrogate"``) to recompute
+            each clean-channel fate from the trace's SNR trajectory.
+            A *name* resolves against the default six-rate prototype
+            table; simulations with a custom rate table must pass a
+            backend instance built with it (as
+            :class:`repro.sim.topology.AccessPointNetwork` does) —
+            a mismatch fails loudly at the first observation.
     """
 
     def __init__(self, traces: Dict[Tuple[int, int], LinkTrace],
                  rng: np.random.Generator, detect_prob: float = 0.8,
                  use_postambles: bool = True,
                  carrier_sense_prob: Optional[Callable[[int, int],
-                                                       float]] = None):
+                                                       float]] = None,
+                 phy_backend=None):
         if not 0.0 <= detect_prob <= 1.0:
             raise ValueError("detect_prob must be a probability")
+        if phy_backend is not None:
+            from repro.phy.backend import get_backend
+            phy_backend = get_backend(phy_backend)
+        self.phy_backend = phy_backend
         self.traces = dict(traces)
         self.rng = rng
         self.detect_prob = detect_prob
@@ -209,18 +234,28 @@ class WirelessChannel:
         except KeyError:
             raise KeyError(f"no trace for link {src} -> {dest}") from None
 
+    def _observe(self, trace: LinkTrace, tx: Transmission
+                 ) -> FrameObservation:
+        """Clean-channel observation: precomputed or backend-computed."""
+        if self.phy_backend is None:
+            return trace.observe(tx.start, tx.rate_index)
+        return self.phy_backend.observe(trace, tx.start, tx.rate_index,
+                                        tx.frame.payload_bits, self.rng)
+
     def conclude_transmission(self, tx: Transmission) -> FrameFate:
         """Compute the fate of ``tx`` (called by the MAC at t=end)."""
         trace = self._trace_for(tx.frame.src, tx.frame.dest)
-        obs = trace.observe(tx.start, tx.rate_index)
         overlapping = self._overlapping(tx)
         if tx.rts_protected:
             overlapping = []        # the exchange reserved the medium
 
         if self._receiver_deaf(tx):
+            # The receiver never listened: skip the (possibly
+            # expensive backend-computed) channel observation.
             self.stats["silent"] += 1
             return FrameFate(kind="silent", delivered=False,
-                             feedback=None, observation=obs)
+                             feedback=None, observation=None)
+        obs = self._observe(trace, tx)
         if not obs.detected:
             self.stats["silent"] += 1
             return FrameFate(kind="silent", delivered=False,

@@ -55,6 +55,12 @@ class LinkTrace:
         ber_est: array ``(n_rates, n_slots)`` — SoftPHY BER estimate.
         delivered: bool array ``(n_rates, n_slots)`` — frame success.
         rate_names: labels for the rate axis (for provenance).
+        true_snr_db: optional array ``(n_slots,)`` — the *noiseless*
+            instantaneous channel SNR per slot.  Pluggable PHY
+            backends (:mod:`repro.phy.backend`) recompute frame fates
+            from this trajectory instead of the precomputed columns;
+            traces without it fall back to the noisy ``snr_db``
+            estimate.
 
     Lookups past the end of the trace wrap around, so a short trace can
     drive an arbitrarily long simulation (the standard trace-driven
@@ -65,7 +71,8 @@ class LinkTrace:
                  detected: np.ndarray, ber_true: np.ndarray,
                  ber_est: np.ndarray, delivered: np.ndarray,
                  rate_names: Optional[List[str]] = None,
-                 loss_prob: Optional[np.ndarray] = None):
+                 loss_prob: Optional[np.ndarray] = None,
+                 true_snr_db: Optional[np.ndarray] = None):
         if slot_duration <= 0:
             raise ValueError("slot duration must be positive")
         snr_db = np.asarray(snr_db, dtype=np.float64)
@@ -81,13 +88,18 @@ class LinkTrace:
             # outcome of every attempt in the slot.
             loss_prob = 1.0 - delivered.astype(np.float64)
         loss_prob = np.asarray(loss_prob, dtype=np.float64)
-        for name, arr, shape in [
+        if true_snr_db is not None:
+            true_snr_db = np.asarray(true_snr_db, dtype=np.float64)
+        checks = [
             ("snr_db", snr_db, (n_slots,)),
             ("detected", detected, (n_slots,)),
             ("ber_est", ber_est, (n_rates, n_slots)),
             ("delivered", delivered, (n_rates, n_slots)),
             ("loss_prob", loss_prob, (n_rates, n_slots)),
-        ]:
+        ]
+        if true_snr_db is not None:
+            checks.append(("true_snr_db", true_snr_db, (n_slots,)))
+        for name, arr, shape in checks:
             if arr.shape != shape:
                 raise ValueError(f"{name} has shape {arr.shape}, "
                                  f"expected {shape}")
@@ -100,6 +112,7 @@ class LinkTrace:
         self.ber_est = ber_est
         self.delivered = delivered
         self.loss_prob = loss_prob
+        self.true_snr_db = true_snr_db
         self.rate_names = rate_names or [f"rate{i}" for i in range(n_rates)]
 
     @property
@@ -171,20 +184,30 @@ class LinkTrace:
 
     def save(self, path) -> None:
         """Persist to an ``.npz`` file."""
-        np.savez_compressed(
-            path, slot_duration=self.slot_duration, snr_db=self.snr_db,
+        arrays = dict(
+            slot_duration=self.slot_duration, snr_db=self.snr_db,
             detected=self.detected, ber_true=self.ber_true,
             ber_est=self.ber_est, delivered=self.delivered,
             loss_prob=self.loss_prob,
             rate_names=np.array(self.rate_names))
+        if self.true_snr_db is not None:
+            arrays["true_snr_db"] = self.true_snr_db
+        np.savez_compressed(path, **arrays)
 
     @classmethod
     def load(cls, path) -> "LinkTrace":
-        """Load a trace saved with :meth:`save`."""
+        """Load a trace saved with :meth:`save`.
+
+        Traces written before the ``true_snr_db`` column existed load
+        fine — the field simply stays ``None``.
+        """
         with np.load(path) as data:
+            true_snr = data["true_snr_db"] \
+                if "true_snr_db" in data.files else None
             return cls(slot_duration=float(data["slot_duration"]),
                        snr_db=data["snr_db"], detected=data["detected"],
                        ber_true=data["ber_true"], ber_est=data["ber_est"],
                        delivered=data["delivered"],
                        loss_prob=data["loss_prob"],
-                       rate_names=[str(n) for n in data["rate_names"]])
+                       rate_names=[str(n) for n in data["rate_names"]],
+                       true_snr_db=true_snr)

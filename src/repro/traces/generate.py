@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.channel.awgn import apply_channel
 from repro.channel.rayleigh import RayleighFadingProcess
+from repro.phy.backend import DETECTION_SNR_DB
 from repro.phy.rates import MODES, RATE_TABLE, OperatingMode, RateTable
 from repro.phy.snr import db_to_linear, snr_to_db
 from repro.phy.transceiver import Transceiver
@@ -33,11 +34,6 @@ from repro.traces.format import LinkTrace
 
 __all__ = ["generate_fading_trace", "generate_full_phy_trace",
            "DETECTION_SNR_DB", "BER_ESTIMATE_NOISE_DECADES"]
-
-#: Preamble SNR below which the receiver cannot detect the frame at
-#: all (silent loss).  BPSK-coded preamble correlation works a couple
-#: of dB below the lowest data rate's threshold.
-DETECTION_SNR_DB = -2.0
 
 #: Standard deviation of the SoftPHY BER estimate in decades.  Fig. 7a:
 #: "the error variance ... stays below one-tenth of one order of
@@ -113,6 +109,7 @@ def generate_fading_trace(
     delivered = np.zeros((n_rates, n_slots), dtype=bool)
     loss_prob = np.zeros((n_rates, n_slots))
     snr_db = np.empty(n_slots)
+    true_snr_db = np.empty(n_slots)
     detected = np.zeros(n_slots, dtype=bool)
 
     ceiling = db_to_linear(snr_ceiling_db)
@@ -126,6 +123,7 @@ def generate_fading_trace(
         inst_snr = mean_lin * np.abs(h0) ** 2
         inst_snr_db = snr_to_db(inst_snr)
         detected[slot] = inst_snr_db >= DETECTION_SNR_DB
+        true_snr_db[slot] = inst_snr_db
         snr_db[slot] = inst_snr_db + rng.normal(0, _SNR_ESTIMATE_NOISE_DB)
 
         for r, rate in enumerate(rates):
@@ -150,7 +148,8 @@ def generate_fading_trace(
     return LinkTrace(slot_duration=slot_duration, snr_db=snr_db,
                      detected=detected, ber_true=ber_true,
                      ber_est=ber_est, delivered=delivered,
-                     loss_prob=loss_prob, rate_names=rates.names())
+                     loss_prob=loss_prob, rate_names=rates.names(),
+                     true_snr_db=true_snr_db)
 
 
 def generate_full_phy_trace(
@@ -181,6 +180,7 @@ def generate_full_phy_trace(
     ber_est = np.empty((n_rates, n_slots))
     delivered = np.zeros((n_rates, n_slots), dtype=bool)
     snr_db = np.empty(n_slots)
+    true_snr_db = np.empty(n_slots)
     detected = np.zeros(n_slots, dtype=bool)
 
     for slot in range(n_slots):
@@ -195,9 +195,13 @@ def generate_full_phy_trace(
             ber_est[r, slot] = frame_ber_estimate(rx.hints)
             delivered[r, slot] = bool(rx.crc_ok)
             if r == 0:
+                # Noiseless channel state at the slot (frame start),
+                # alongside the receiver's noisy estimate.
+                true_snr_db[slot] = snr_to_db(np.abs(gains[0]) ** 2)
                 snr_db[slot] = rx.snr_db
                 detected[slot] = rx.snr_db >= DETECTION_SNR_DB
     return LinkTrace(slot_duration=slot_duration, snr_db=snr_db,
                      detected=detected, ber_true=ber_true,
                      ber_est=ber_est, delivered=delivered,
-                     rate_names=rates.names())
+                     rate_names=rates.names(),
+                     true_snr_db=true_snr_db)

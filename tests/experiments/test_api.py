@@ -291,3 +291,82 @@ class TestProtocolRegistry:
         from repro.experiments.common import protocol_factory
         with pytest.raises(ValueError, match="available"):
             protocol_factory("wishful-thinking")
+
+
+class TestPhyBackendKnob:
+    """phy_backend: injected by the Runner where declared, but —
+    unlike batch_size — part of cache identity (the surrogate is
+    calibrated, not bit-exact)."""
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ValueError) as excinfo:
+            Runner(phy_backend="warp-drive")
+        message = str(excinfo.value)
+        assert "warp-drive" in message
+        assert "full" in message and "surrogate" in message
+
+    def test_backend_included_in_content_hash(self):
+        spec = get_experiment("fig07")
+        a = spec.scenario({"phy_backend": "full"}).content_hash()
+        b = spec.scenario({"phy_backend": "surrogate"}).content_hash()
+        assert a != b
+
+    def test_runner_injects_backend_where_declared(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path),
+                        use_cache=False, phy_backend="surrogate")
+        result = runner.run("fig07", {"payload_bits": 104,
+                                      "frames_per_point": 1})
+        assert result.params["phy_backend"] == "surrogate"
+        # fig01 declares no phy_backend; injection must not trip the
+        # unknown-parameter validation.
+        result = runner.run("fig01", {"duration": 0.2})
+        assert "phy_backend" not in result.params
+
+    def test_explicit_override_beats_runner_default(self, tmp_path):
+        runner = Runner(jobs=1, cache_dir=str(tmp_path),
+                        use_cache=False, phy_backend="surrogate")
+        result = runner.run("fig07", {"payload_bits": 104,
+                                      "frames_per_point": 1,
+                                      "phy_backend": "full"})
+        assert result.params["phy_backend"] == "full"
+
+    def test_surrogate_and_full_cache_separately(self, tmp_path):
+        overrides = {"payload_bits": 104, "frames_per_point": 1}
+        full = Runner(cache_dir=str(tmp_path),
+                      phy_backend="full").run("fig07", overrides)
+        surrogate = Runner(cache_dir=str(tmp_path),
+                           phy_backend="surrogate").run("fig07",
+                                                        overrides)
+        assert not full.cached
+        assert not surrogate.cached      # distinct cache entries
+
+    def test_unknown_backend_surfaces_from_experiment(self):
+        spec = get_experiment("fig07")
+        with pytest.raises(ValueError, match="available"):
+            spec.fn(payload_bits=104, frames_per_point=1,
+                    phy_backend="bogus")
+
+    def test_tcp_experiments_declare_backend(self):
+        for name in ("fig13", "fig16"):
+            assert "phy_backend" in get_experiment(name).params
+
+    def test_surrogate_hash_tracks_calibration_table(self, monkeypatch):
+        """Recalibrating must invalidate cached surrogate results."""
+        import repro.phy.calibration as calibration
+
+        spec = get_experiment("fig07")
+        monkeypatch.setattr(calibration, "default_fingerprint",
+                            lambda: "aaaa")
+        before = spec.scenario({"phy_backend": "surrogate"}).content_hash()
+        monkeypatch.setattr(calibration, "default_fingerprint",
+                            lambda: "bbbb")
+        after = spec.scenario({"phy_backend": "surrogate"}).content_hash()
+        assert before != after
+        # The full backend does not depend on the table.
+        monkeypatch.setattr(calibration, "default_fingerprint",
+                            lambda: "aaaa")
+        full_a = spec.scenario({"phy_backend": "full"}).content_hash()
+        monkeypatch.setattr(calibration, "default_fingerprint",
+                            lambda: "bbbb")
+        assert spec.scenario({"phy_backend": "full"}).content_hash() \
+            == full_a

@@ -1,0 +1,243 @@
+"""Frame-delivery paths of the wireless channel under PHY backends.
+
+The collision-geometry tests in ``test_wireless.py`` exercise the
+default (precomputed trace) path; these tests pin the behaviours that
+the pluggable backends must preserve — loss, capture, silent losses,
+and SoftPHY hint propagation into feedback — when the clean-channel
+observation is recomputed per transmission.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.backend import FullPhyBackend, SurrogatePhyBackend
+from repro.phy.calibration import default_table
+from repro.sim.wireless import MacFrame, Transmission, WirelessChannel
+from repro.traces.synthetic import constant_trace
+
+#: Small payload so the full backend stays fast in unit tests.
+_PAYLOAD_BITS = 368
+
+
+def _frame(src=1, dest=0, seq=0):
+    return MacFrame(src=src, dest=dest, seq=seq, payload=None,
+                    payload_bits=_PAYLOAD_BITS)
+
+
+def _tx(frame, start, duration, rate=3, preamble=16e-6, postamble=8e-6):
+    return Transmission(frame=frame, rate_index=rate, start=start,
+                        end=start + duration,
+                        preamble_end=start + preamble,
+                        postamble_start=start + duration - postamble)
+
+
+def _trace(true_snr_db=25.0):
+    trace = constant_trace(best_rate=5, duration=1.0)
+    trace.true_snr_db = np.full(trace.n_slots, float(true_snr_db))
+    return trace
+
+
+def _channel(backend, true_snr_db=25.0, seed=0, detect_prob=1.0):
+    trace = _trace(true_snr_db)
+    traces = {(1, 0): trace, (2, 0): trace, (0, 1): trace,
+              (2, 3): trace}
+    return WirelessChannel(traces, np.random.default_rng(seed),
+                           detect_prob=detect_prob,
+                           phy_backend=backend)
+
+
+def _backends():
+    return [("surrogate", SurrogatePhyBackend(default_table())),
+            ("full", FullPhyBackend())]
+
+
+@pytest.fixture(params=["surrogate", "full"])
+def backend(request):
+    return dict(_backends())[request.param]
+
+
+class TestCleanDelivery:
+    def test_strong_channel_delivers_with_feedback(self, backend):
+        channel = _channel(backend)
+        tx = _tx(_frame(), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        fate = channel.conclude_transmission(tx)
+        assert fate.kind == "clean"
+        assert fate.delivered
+        assert fate.feedback is not None and fate.feedback.frame_ok
+        assert fate.feedback.seq == tx.frame.seq
+
+    def test_hints_propagate_into_feedback(self, backend):
+        """feedback.ber is the backend's SoftPHY BER estimate: tiny on
+        a clean channel, large on a failing one."""
+        channel = _channel(backend, true_snr_db=25.0)
+        tx = _tx(_frame(), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        clean = channel.conclude_transmission(tx)
+        assert clean.feedback.ber < 1e-6
+
+        lossy = _channel(backend, true_snr_db=3.0)
+        tx2 = _tx(_frame(), 0.0, 1e-3, rate=5)
+        lossy.begin_transmission(tx2)
+        fate = lossy.conclude_transmission(tx2)
+        assert fate.kind == "clean" and not fate.delivered
+        assert fate.feedback is not None       # header still decoded
+        assert not fate.feedback.frame_ok
+        assert fate.feedback.ber > 1e-3
+
+    def test_snr_estimate_propagates(self, backend):
+        channel = _channel(backend, true_snr_db=18.0)
+        tx = _tx(_frame(), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        fate = channel.conclude_transmission(tx)
+        assert fate.feedback.snr_db == pytest.approx(18.0, abs=4.0)
+
+
+class TestLossPaths:
+    def test_weak_channel_loses_frame(self, backend):
+        channel = _channel(backend, true_snr_db=3.0)
+        tx = _tx(_frame(), 0.0, 1e-3, rate=5)
+        channel.begin_transmission(tx)
+        fate = channel.conclude_transmission(tx)
+        assert fate.kind == "clean"
+        assert not fate.delivered
+
+    def test_undetectable_channel_is_silent(self, backend):
+        channel = _channel(backend, true_snr_db=-8.0)
+        tx = _tx(_frame(), 0.0, 1e-3)
+        channel.begin_transmission(tx)
+        fate = channel.conclude_transmission(tx)
+        assert fate.kind == "silent"
+        assert fate.feedback is None
+        assert fate.is_silent
+
+
+class TestCaptureAndCollisions:
+    def test_locked_frame_collides_follower_gets_postamble(self,
+                                                           backend):
+        channel = _channel(backend)
+        first = _tx(_frame(src=1), 0.0, 1e-3)
+        second = _tx(_frame(src=2), 0.4e-3, 1e-3)
+        channel.begin_transmission(first)
+        channel.begin_transmission(second)
+        fate1 = channel.conclude_transmission(first)
+        fate2 = channel.conclude_transmission(second)
+        assert fate1.kind == "collided" and not fate1.delivered
+        assert fate1.feedback is not None
+        # Detector at prob 1.0: interference flagged, BER is the
+        # backend's clean-portion estimate.
+        assert fate1.interference_detected
+        assert fate1.feedback.ber < 1e-3
+        assert fate2.kind == "postamble"
+        assert fate2.feedback.postamble_only
+
+    def test_contained_frame_is_silent(self, backend):
+        channel = _channel(backend)
+        big = _tx(_frame(src=1), 0.0, 2e-3)
+        small = _tx(_frame(src=2), 0.5e-3, 0.5e-3)
+        channel.begin_transmission(big)
+        channel.begin_transmission(small)
+        assert channel.conclude_transmission(small).kind == "silent"
+
+    def test_undetected_collision_reports_noise_ber(self, backend):
+        channel = _channel(backend, detect_prob=0.0)
+        first = _tx(_frame(src=1), 0.0, 1e-3)
+        second = _tx(_frame(src=2), 0.4e-3, 1e-3)
+        channel.begin_transmission(first)
+        channel.begin_transmission(second)
+        fate = channel.conclude_transmission(first)
+        assert fate.kind == "collided"
+        assert not fate.interference_detected
+        assert fate.feedback.ber > 0.01
+
+
+class TestBackendSelection:
+    def test_channel_resolves_backend_names(self):
+        channel = _channel("surrogate")
+        assert isinstance(channel.phy_backend, SurrogatePhyBackend)
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(ValueError, match="full"):
+            _channel("warp-drive")
+
+    def test_default_still_uses_trace_columns(self):
+        channel = _channel(None)
+        assert channel.phy_backend is None
+        tx = _tx(_frame(), 0.0, 1e-3, rate=5)
+        channel.begin_transmission(tx)
+        # best_rate=5 trace: rate 5 delivers by construction.
+        assert channel.conclude_transmission(tx).delivered
+
+
+class TestRateTableThreading:
+    """Backends must be resolved with the simulation's rate table."""
+
+    def test_observe_rejects_rate_count_mismatch(self):
+        # 8-rate trace vs the backend's default 6-rate table: loud
+        # error, not an IndexError (or silently wrong rates).
+        from repro.phy.rates import RATE_TABLE
+
+        trace = constant_trace(best_rate=5, duration=0.1,
+                               rates=RATE_TABLE)
+        backend = SurrogatePhyBackend(default_table())
+        with pytest.raises(ValueError, match="rate table"):
+            backend.observe(trace, 0.0, 3, _PAYLOAD_BITS,
+                            np.random.default_rng(0))
+
+    def test_topology_threads_rates_into_full_backend(self):
+        from repro.phy.rates import RATE_TABLE
+        from repro.sim.topology import AccessPointNetwork
+        from repro.rateadapt.fixed import FixedRate
+
+        trace = constant_trace(best_rate=7, duration=0.5,
+                               rates=RATE_TABLE)
+        trace.true_snr_db = np.full(trace.n_slots, 25.0)
+        network = AccessPointNetwork(
+            n_clients=1, uplink_traces=[trace],
+            downlink_traces=[trace],
+            adapter_factory=lambda rates, tr: FixedRate(
+                rates, rate_index=7),
+            rates=RATE_TABLE, phy_backend="full")
+        # The backend's table is the network's 8-rate table, so the
+        # QAM64 rate index resolves instead of raising IndexError.
+        assert len(network.channel.phy_backend.rates) == 8
+        obs = network.channel.phy_backend.observe(
+            trace, 0.0, 7, 368, np.random.default_rng(0))
+        assert obs.detected
+
+    def test_topology_surrogate_with_custom_rates_fails_loudly(self):
+        from repro.phy.rates import RATE_TABLE
+        from repro.sim.topology import AccessPointNetwork
+        from repro.rateadapt.fixed import FixedRate
+
+        trace = constant_trace(best_rate=7, duration=0.5,
+                               rates=RATE_TABLE)
+        with pytest.raises(ValueError, match="6 rates"):
+            AccessPointNetwork(
+                n_clients=1, uplink_traces=[trace],
+                downlink_traces=[trace],
+                adapter_factory=lambda rates, tr: FixedRate(
+                    rates, rate_index=7),
+                rates=RATE_TABLE, phy_backend="surrogate")
+
+
+class TestLazyObservation:
+    def test_deaf_receiver_skips_backend_decode(self):
+        """A frame whose receiver was transmitting must not pay for a
+        (potentially full-PHY) channel observation."""
+
+        class CountingBackend(SurrogatePhyBackend):
+            calls = 0
+
+            def observe(self, *args, **kwargs):
+                CountingBackend.calls += 1
+                return super().observe(*args, **kwargs)
+
+        channel = _channel(CountingBackend(default_table()))
+        from_zero = _tx(_frame(src=0, dest=1), 0.0, 2e-3)
+        to_zero = _tx(_frame(src=1, dest=0), 0.5e-3, 0.5e-3)
+        channel.begin_transmission(from_zero)
+        channel.begin_transmission(to_zero)
+        fate = channel.conclude_transmission(to_zero)
+        assert fate.kind == "silent"
+        assert CountingBackend.calls == 0

@@ -136,3 +136,67 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestListDeterminism:
+    def test_output_sorted_by_experiment_id(self, capsys):
+        """`repro list` must be deterministic: rows sorted by id."""
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        names = [line.split()[0] for line in out.splitlines()
+                 if line.startswith(("fig", "tab"))]
+        assert len(names) == 12
+        assert names == sorted(names)
+
+    def test_two_invocations_identical(self, capsys):
+        assert main(["list"]) == 0
+        first = capsys.readouterr().out
+        assert main(["list"]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestPhyBackendCli:
+    def test_run_with_surrogate_backend(self, capsys):
+        assert main(["run", "fig07", "--set", "payload_bits=256",
+                     "--set", "frames_per_point=1",
+                     "--phy-backend", "surrogate", "--no-cache"]) == 0
+        assert "estimator_error_decades" in capsys.readouterr().out
+
+    def test_unknown_backend_fails_cleanly(self, capsys):
+        assert main(["run", "fig07", "--phy-backend", "warp",
+                     "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "warp" in err and "surrogate" in err
+
+    def test_simulate_with_surrogate_backend(self, capsys):
+        assert main(["simulate", "--duration", "0.3",
+                     "--phy-backend", "surrogate"]) == 0
+        assert "Mbps" in capsys.readouterr().out
+
+    def test_simulate_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--phy-backend", "warp"])
+
+
+class TestCalibrateCommand:
+    def test_writes_loadable_table(self, tmp_path, capsys):
+        path = str(tmp_path / "cal.json")
+        assert main(["calibrate", "--output", path,
+                     "--frames-per-point", "1",
+                     "--payload-bits", "104", "--batch-size", "1",
+                     "--snr-min", "0", "--snr-max", "24",
+                     "--snr-step", "8"]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        from repro.phy.calibrate import CalibrationTable
+        table = CalibrationTable.load(path)
+        assert table.n_rates == 6
+        assert table.snr_grid_db.size == 4
+
+    def test_rejects_nonpositive_snr_step(self, tmp_path):
+        with pytest.raises(SystemExit, match="snr-step"):
+            main(["calibrate", "--output", str(tmp_path / "c.json"),
+                  "--snr-step", "0"])
+        with pytest.raises(SystemExit, match="snr-step"):
+            main(["calibrate", "--output", str(tmp_path / "c.json"),
+                  "--snr-step", "-1"])

@@ -1,0 +1,66 @@
+"""Markdown link check over ``docs/`` and the README.
+
+Every relative link must resolve to a file in the repository, and
+every file/directory path mentioned in backticks in the docs tree
+must exist — so the documentation cannot silently rot as the code
+moves.  CI runs this as its docs-lint step.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_MD_FILES = ["README.md", "docs/architecture.md",
+             "docs/reproducing.md", "docs/extending.md"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#]+)(#[^)]*)?\)")
+#: Backticked tokens that look like repo paths (contain a slash and
+#: an extension or trailing slash).
+_PATHISH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.[a-z]+)`")
+
+
+def _md_paths():
+    return [path for path in _MD_FILES
+            if os.path.exists(os.path.join(_ROOT, path))]
+
+
+def test_docs_tree_exists():
+    for path in _MD_FILES:
+        assert os.path.exists(os.path.join(_ROOT, path)), \
+            f"missing {path}"
+
+
+@pytest.mark.parametrize("md", _md_paths())
+def test_relative_links_resolve(md):
+    base = os.path.dirname(os.path.join(_ROOT, md))
+    with open(os.path.join(_ROOT, md)) as fh:
+        text = fh.read()
+    broken = []
+    for match in _LINK.finditer(text):
+        target = match.group(1).strip()
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            broken.append(target)
+    assert not broken, f"{md}: broken links {broken}"
+
+
+@pytest.mark.parametrize("md", _md_paths())
+def test_backticked_repo_paths_exist(md):
+    with open(os.path.join(_ROOT, md)) as fh:
+        text = fh.read()
+    broken = []
+    for match in _PATHISH.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http", "repro/")) or "*" in target:
+            continue
+        # Paths are written repo-relative in the docs.
+        if not os.path.exists(os.path.join(_ROOT, target)):
+            broken.append(target)
+    assert not broken, f"{md}: paths that do not exist {broken}"

@@ -115,3 +115,44 @@ class TestPersistence:
         assert np.allclose(loaded.ber_true, trace.ber_true)
         assert np.allclose(loaded.loss_prob, trace.loss_prob)
         assert loaded.rate_names == trace.rate_names
+
+
+class TestTrueSnrColumn:
+    """The optional true-SNR channel-state column (PHY backends)."""
+
+    def test_roundtrips_through_npz(self, tmp_path):
+        trace = _trace()
+        trace.true_snr_db = np.linspace(18.0, 6.0, trace.n_slots)
+        path = str(tmp_path / "t.npz")
+        trace.save(path)
+        loaded = LinkTrace.load(path)
+        assert np.allclose(loaded.true_snr_db, trace.true_snr_db)
+
+    def test_absent_column_loads_as_none(self, tmp_path):
+        trace = _trace()
+        assert trace.true_snr_db is None
+        path = str(tmp_path / "t.npz")
+        trace.save(path)
+        assert LinkTrace.load(path).true_snr_db is None
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="true_snr_db"):
+            LinkTrace(
+                slot_duration=5e-3,
+                snr_db=np.zeros(4),
+                detected=np.ones(4, dtype=bool),
+                ber_true=np.zeros((2, 4)),
+                ber_est=np.zeros((2, 4)),
+                delivered=np.ones((2, 4), dtype=bool),
+                true_snr_db=np.zeros(3))
+
+    def test_generated_fading_trace_records_true_snr(self):
+        from repro.traces.generate import generate_fading_trace
+
+        trace = generate_fading_trace(np.random.default_rng(0),
+                                      duration=0.05)
+        assert trace.true_snr_db is not None
+        assert trace.true_snr_db.shape == trace.snr_db.shape
+        # The estimate is the true SNR plus zero-mean noise.
+        err = trace.snr_db - trace.true_snr_db
+        assert np.std(err) > 0.1

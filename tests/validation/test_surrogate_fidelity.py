@@ -1,0 +1,225 @@
+"""Surrogate-backend fidelity: how closely the calibrated tables
+reproduce the full bit-exact PHY.
+
+Three layers of validation, from static curves to protocol behaviour:
+
+1. **BER waterfalls vs the golden fixtures** — the surrogate's
+   calibrated BER curve must reproduce the pinned fig07 golden points
+   within the tolerances documented in ``docs/reproducing.md``
+   (0.5 decades where the golden Monte Carlo resolves the BER; golden
+   zero-error groups must be *likely* under the surrogate's delivery
+   hazard, because frame errors near the waterfall are bimodal).
+
+2. **Trajectory-matched outcomes** — identical fig08-style fading
+   trajectories through both backends: delivery rates, estimator
+   tracking (Fig. 7a), clean-frame estimator floor, and preamble-SNR
+   error statistics must agree.
+
+3. **SoftRate throughput** — a saturated MAC-level SoftRate flow over
+   the same fading trace, frame fates computed by each backend; the
+   delivered throughput must agree within 30%.
+
+``REPRO_SMOKE_BENCH=1`` shrinks the Monte Carlo sizes for CI smoke
+runs (bounds unchanged except where noted).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.channel.rayleigh import RayleighFadingProcess
+from repro.phy.backend import FullPhyBackend, SurrogatePhyBackend
+from repro.phy.calibration import default_table
+from repro.phy.snr import db_to_linear
+
+_SMOKE = os.environ.get("REPRO_SMOKE_BENCH", "") not in ("", "0")
+_GOLDEN_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "golden", "phy_ber_points.json")
+
+#: Documented tolerances (docs/reproducing.md, "Surrogate fidelity").
+MEASURABLE_BER_TOL_DECADES = 0.5    # golden aggregate BER >= 1e-2
+SPARSE_BER_TOL_DECADES = 1.0        # golden aggregate BER in (0, 1e-2)
+ZERO_GOLDEN_MIN_LIKELIHOOD = 0.01   # P(observed all-clean | surrogate)
+
+
+def _golden_fig07_groups():
+    """Aggregate the fig07 golden fixture per (rate, snr) point.
+
+    Returns ``(n_info_bits, {(rate, snr): (errors, bits, frames)})``.
+    """
+    with open(_GOLDEN_PATH) as fh:
+        golden = json.load(fh)["fig07"]
+    cfg, arrays = golden["config"], golden["arrays"]
+    n_info = cfg["payload_bits"] + 32
+    groups = defaultdict(lambda: [0, 0, 0])
+    i = 0
+    for rate in cfg["rate_indices"]:
+        for snr in cfg["snr_grid_db"]:
+            for _ in range(cfg["frames_per_point"]):
+                groups[(rate, float(snr))][0] += \
+                    arrays["error_counts"][i]
+                groups[(rate, float(snr))][1] += n_info
+                groups[(rate, float(snr))][2] += 1
+                i += 1
+    assert i == len(arrays["error_counts"])
+    return n_info, dict(groups)
+
+
+class TestGoldenBerCurve:
+    """Acceptance criterion: surrogate reproduces the fig07 goldens."""
+
+    def test_measurable_points_within_tolerance(self):
+        table = default_table()
+        _n_info, groups = _golden_fig07_groups()
+        checked = 0
+        for (rate, snr), (errors, bits, _frames) in groups.items():
+            golden_ber = errors / bits
+            if golden_ber <= 0:
+                continue
+            surrogate = float(table.bit_error_rate(rate, snr))
+            deviation = abs(np.log10(surrogate / golden_ber))
+            tol = MEASURABLE_BER_TOL_DECADES if golden_ber >= 1e-2 \
+                else SPARSE_BER_TOL_DECADES
+            assert deviation <= tol, (
+                f"rate {rate} @ {snr} dB: golden BER {golden_ber:.3g} "
+                f"vs surrogate {surrogate:.3g} "
+                f"({deviation:.2f} decades, tol {tol})")
+            checked += 1
+        assert checked >= 8      # the fixture must keep exercising this
+
+    def test_zero_error_points_are_likely(self):
+        """Golden groups with zero bit errors must be plausible under
+        the surrogate's delivery hazard (bimodal waterfall: a clean
+        800-bit sample near the waterfall is luck, not BER ~ 0)."""
+        table = default_table()
+        n_info, groups = _golden_fig07_groups()
+        for (rate, snr), (errors, _bits, frames) in groups.items():
+            if errors > 0:
+                continue
+            lam = float(table.hazard(rate, snr))
+            p_all_clean = float(np.exp(-lam * n_info) ** frames)
+            assert p_all_clean >= ZERO_GOLDEN_MIN_LIKELIHOOD, (
+                f"rate {rate} @ {snr} dB: golden saw {frames} clean "
+                f"frames but the surrogate gives that probability "
+                f"{p_all_clean:.2e}")
+
+
+class TestTrajectoryMatchedOutcomes:
+    """Identical fading trajectories through both backends."""
+
+    N_FRAMES = 16 if _SMOKE else 48
+    PAYLOAD_BITS = 368
+    RATE_INDEX = 3
+
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        full = FullPhyBackend()
+        surrogate = SurrogatePhyBackend(default_table())
+        traj_rng = np.random.default_rng(88)
+        trajectories = []
+        for _ in range(self.N_FRAMES):
+            mean_snr = traj_rng.uniform(4.0, 14.0)
+            fading = RayleighFadingProcess(40.0, traj_rng)
+            amp = np.sqrt(db_to_linear(mean_snr))
+            gains = amp * fading.symbol_gains(0.0, 40, 8e-6)
+            trajectories.append(10.0 * np.log10(
+                np.maximum(np.abs(gains) ** 2, 1e-12)))
+        rng_f = np.random.default_rng(1)
+        rng_s = np.random.default_rng(2)
+        full_outs = [full.frame_outcome(self.RATE_INDEX, t,
+                                        self.PAYLOAD_BITS, rng_f)
+                     for t in trajectories]
+        sur_outs = [surrogate.frame_outcome(self.RATE_INDEX, t,
+                                            self.PAYLOAD_BITS, rng_s)
+                    for t in trajectories]
+        return trajectories, full_outs, sur_outs
+
+    def test_delivery_rates_agree(self, outcomes):
+        _trajs, full_outs, sur_outs = outcomes
+        full_rate = np.mean([o.delivered for o in full_outs])
+        sur_rate = np.mean([o.delivered for o in sur_outs])
+        assert abs(full_rate - sur_rate) <= 0.25, (
+            f"delivery {full_rate:.2f} (full) vs {sur_rate:.2f} "
+            "(surrogate)")
+
+    def test_estimator_tracks_truth_on_errored_frames(self, outcomes):
+        _trajs, full_outs, sur_outs = outcomes
+        for name, outs in (("full", full_outs),
+                           ("surrogate", sur_outs)):
+            devs = [abs(np.log10(max(o.ber_est, 1e-12) / o.ber_true))
+                    for o in outs if o.ber_true > 0]
+            if not devs:        # smoke run may draw no errored frames
+                continue
+            assert np.median(devs) <= 0.6, (
+                f"{name}: estimator off by {np.median(devs):.2f} "
+                "decades (median) on errored frames")
+
+    def test_clean_frames_report_tiny_ber(self, outcomes):
+        _trajs, full_outs, sur_outs = outcomes
+        for outs in (full_outs, sur_outs):
+            clean = [o.ber_est for o in outs if o.ber_true == 0]
+            assert clean and np.median(clean) < 1e-6
+
+    def test_snr_estimate_statistics_agree(self, outcomes):
+        trajs, full_outs, sur_outs = outcomes
+        err_f = [o.snr_db - t[0] for o, t in zip(full_outs, trajs)]
+        err_s = [o.snr_db - t[0] for o, t in zip(sur_outs, trajs)]
+        assert abs(np.mean(err_f) - np.mean(err_s)) <= 0.75
+        assert np.std(err_s) <= max(3.0 * np.std(err_f), 1.0)
+
+
+class TestSoftRateThroughputDeviation:
+    """Saturated SoftRate flow, frame fates from each backend."""
+
+    DURATION = 0.02 if _SMOKE else 0.05
+    PAYLOAD_BITS = 368
+
+    def _run(self, phy_backend):
+        from repro.experiments.common import softrate_factory
+        from repro.phy.rates import RATE_TABLE
+        from repro.sim.eventsim import Simulator
+        from repro.sim.mac import Station
+        from repro.sim.topology import make_airtime_fn
+        from repro.sim.wireless import WirelessChannel
+        from repro.traces.generate import generate_fading_trace
+
+        rates = RATE_TABLE.prototype_subset()
+        trace = generate_fading_trace(
+            np.random.default_rng(42), duration=1.0,
+            mean_snr_db=lambda t: 14.0, doppler_hz=40.0,
+            payload_bits=self.PAYLOAD_BITS)
+        sim = Simulator()
+        channel = WirelessChannel({(1, 0): trace},
+                                  np.random.default_rng(3),
+                                  phy_backend=phy_backend)
+        airtime = make_airtime_fn(rates)
+        stations = {}
+
+        def refill():
+            while stations[1].send(0, None, self.PAYLOAD_BITS):
+                pass
+
+        for sid, drain in ((0, None), (1, refill)):
+            stations[sid] = Station(
+                sim, channel, sid, np.random.default_rng(1000 + sid),
+                adapter_factory=lambda peer: softrate_factory(rates),
+                airtime_fn=airtime, on_queue_drain=drain)
+        refill()
+        sim.run_until(self.DURATION)
+        sender = stations[1]
+        mbps = sender.delivered_frames * self.PAYLOAD_BITS \
+            / self.DURATION / 1e6
+        return mbps, len(sender.frame_log)
+
+    def test_throughput_within_30_percent(self):
+        full_mbps, full_frames = self._run("full")
+        sur_mbps, sur_frames = self._run("surrogate")
+        assert full_frames > 10 and sur_frames > 10
+        assert sur_mbps == pytest.approx(full_mbps, rel=0.30), (
+            f"SoftRate throughput {full_mbps:.2f} Mbps (full) vs "
+            f"{sur_mbps:.2f} Mbps (surrogate)")
