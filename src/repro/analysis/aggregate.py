@@ -1,17 +1,20 @@
-"""Aggregation of per-replicate scalar metrics.
+"""Aggregation of per-replicate scalar metrics and tidy tables.
 
 The experiment runner reduces each replicate (one seed of one
 scenario) to a flat ``{metric: float}`` dict; these helpers combine
 replicates into the aggregate row an :class:`ExperimentResult`
-reports.
+reports.  The campaign engine reuses the same reductions for its
+summaries, plus :func:`group_rows` for grouped means over tidy
+per-scenario rows.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["aggregate_metrics", "metric_union"]
+__all__ = ["aggregate_metrics", "metric_union", "group_rows"]
 
 
 def metric_union(per_seed: Sequence[Mapping[str, float]]) -> List[str]:
@@ -38,3 +41,83 @@ def aggregate_metrics(per_seed: Sequence[Mapping[str, float]]
         out[key] = (sum(values) / len(values)) if values \
             else float("nan")
     return out
+
+
+def _as_float(value: Any) -> float:
+    """A row cell as a float; None (canonical NaN) decodes to NaN."""
+    if value is None:
+        return float("nan")
+    return float(value)
+
+
+def _is_numeric(value: Any) -> bool:
+    return value is None or (isinstance(value, (int, float))
+                             and not isinstance(value, bool))
+
+
+def _value_sort_key(value: Any):
+    """Mixed-type total order: None, then numbers (numerically), then
+    booleans and strings (lexicographically)."""
+    if value is None:
+        return (0, 0.0, "")
+    if _is_numeric(value):
+        return (1, float(value), "")
+    return (2, 0.0, str(value))
+
+
+def group_rows(rows: Sequence[Mapping[str, Any]],
+               keys: Sequence[str],
+               metrics: Optional[Sequence[str]] = None
+               ) -> List[Dict[str, Any]]:
+    """Grouped nan-aware metric means over tidy per-scenario rows.
+
+    Each output entry carries the group's key values, the member count
+    ``n``, and the mean of every metric across the group (NaN-encoded
+    as None when a metric has no finite observations there).  Groups
+    come out in a deterministic order — sorted by key values, numbers
+    numerically — and rows are averaged in input order, so identical
+    row sets produce identical output bytes.
+
+    When ``metrics`` is omitted it defaults to the columns (outside
+    the grouping keys, the ``index``/``scenario_id``/``seed``
+    bookkeeping, and ``*_digest`` identity hashes) whose values are
+    numeric in every row — pass it explicitly to keep numeric
+    *parameter* columns out of the means.
+
+    Example::
+
+        group_rows(rows, ["protocol"], ["mbps"])
+        # [{"protocol": "rraa", "n": 24, "mbps": 3.1}, ...]
+    """
+    if metrics is None:
+        reserved = set(keys) | {"index", "scenario_id", "seed"}
+        metrics = [k for k in metric_union(rows)
+                   if k not in reserved
+                   and not k.endswith("_digest")
+                   and all(_is_numeric(r[k]) for r in rows
+                           if k in r)]
+    grouped: Dict[str, Dict[str, Any]] = {}
+    members: Dict[str, List[Mapping[str, Any]]] = {}
+    for row in rows:
+        key_values = {k: row.get(k) for k in keys}
+        key = json.dumps(key_values, sort_keys=True, default=str)
+        grouped.setdefault(key, key_values)
+        members.setdefault(key, []).append(row)
+    ordered = sorted(
+        grouped,
+        key=lambda k: [_value_sort_key(grouped[k][name])
+                       for name in keys])
+    out: List[Dict[str, Any]] = []
+    for key in ordered:
+        entry: Dict[str, Any] = dict(grouped[key])
+        entry["n"] = len(members[key])
+        for metric in metrics:
+            values = [_as_float(r.get(metric)) for r in members[key]
+                      if metric in r]
+            finite = [v for v in values if not math.isnan(v)]
+            mean = (sum(finite) / len(finite)) if finite \
+                else float("nan")
+            entry[metric] = None if math.isnan(mean) else mean
+        out.append(entry)
+    return out
+

@@ -12,7 +12,7 @@ consecutive silent losses).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from repro.sim.mac import FrameLogEntry
 from repro.traces.format import LinkTrace
 
 __all__ = ["RateAccuracy", "rate_selection_accuracy", "run_lengths",
-           "ccdf"]
+           "ccdf", "settling_time", "frame_log_digest"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,60 @@ def rate_selection_accuracy(log: Sequence[FrameLogEntry],
         return RateAccuracy(0.0, 0.0, 0.0, 0)
     return RateAccuracy(overselect=over / n, accurate=acc / n,
                         underselect=under / n, n_frames=n)
+
+
+def settling_time(log: Sequence[FrameLogEntry],
+                  target_rate: Optional[int] = None,
+                  settle_window: int = 20,
+                  settle_fraction: float = 0.8) -> float:
+    """Seconds until a station's rate choice settles on its steady rate.
+
+    ``target_rate`` defaults to the modal rate of the log's second
+    half — the rate the adapter eventually lives at.  "Settled" uses
+    the Fig. 15 criterion: from some transmission on, at least
+    ``settle_fraction`` of the next ``settle_window`` frames use the
+    target.  Only full windows count (clamped to the log length for
+    short logs), so a protocol that merely *ends* on the target —
+    e.g. a persistent A,B,A,B oscillation whose last frame happens to
+    be the modal rate — is not scored as converged.  Returns NaN for
+    an empty log or one that never settles.
+    """
+    if not log:
+        return float("nan")
+    rates = np.array([entry.rate_index for entry in log])
+    times = np.array([entry.time for entry in log])
+    if target_rate is None:
+        tail = rates[len(rates) // 2:]
+        values, counts = np.unique(tail, return_counts=True)
+        target_rate = int(values[np.argmax(counts)])
+    hits = rates == target_rate
+    window_size = min(settle_window, len(times))
+    for i in range(len(times) - window_size + 1):
+        window = hits[i:i + window_size]
+        if window.mean() >= settle_fraction:
+            return float(times[i] - times[0])
+    return float("nan")
+
+
+def frame_log_digest(frame_logs) -> int:
+    """Order-independent-input, content-exact digest of frame logs.
+
+    Folds every :class:`FrameLogEntry` of every station (stations
+    visited in sorted id order) into a 48-bit integer — exactly
+    representable as a float, so it can ride along in a scalar metric
+    dict.  Two simulations produce the same digest iff their complete
+    frame logs are identical, which is what the campaign determinism
+    wall asserts across serial/pooled/sharded execution.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for sid in sorted(frame_logs):
+        h.update(f"station={sid}\n".encode())
+        for e in frame_logs[sid]:
+            h.update((f"{e.time!r},{e.src},{e.dest},{e.rate_index},"
+                      f"{e.kind},{e.delivered},{e.retry}\n").encode())
+    return int.from_bytes(h.digest()[:6], "big")
 
 
 def run_lengths(events: Iterable[bool]) -> List[int]:

@@ -1,0 +1,37 @@
+"""Campaign engine: sharded thousand-scenario sweeps with checkpoints.
+
+A *campaign* is a declarative scenario matrix — grid and
+random-sampled axes over a registered experiment's parameter space —
+expanded into thousands of concrete scenarios, each with a
+deterministically derived seed.  The runner executes them serially or
+over a process pool, shards across machines by index, checkpoints
+every completed scenario to a resumable JSONL store layered on the
+``.repro-cache/`` directory, and streams results into tidy summary
+tables.
+
+Entry points::
+
+    from repro.campaigns import (Axis, CampaignMatrix, CampaignRunner,
+                                 get_campaign)
+
+    matrix = get_campaign("contention-scale")   # a stock campaign
+    runner = CampaignRunner(jobs=4)
+    runner.run(matrix)                          # resumable
+    runner.report(matrix, group_by=["protocol", "n_clients"])
+
+The CLI mirrors this as ``repro campaign run/status/report``; see
+``docs/campaigns.md`` for authoring matrices.
+"""
+
+from repro.campaigns.checkpoint import CampaignStore
+from repro.campaigns.matrix import (Axis, CampaignError, CampaignMatrix,
+                                    CampaignScenario, RandomAxis,
+                                    derive_scenario_seed)
+from repro.campaigns.runner import CampaignRunner, CampaignStatus
+from repro.campaigns.stock import (campaign_names, get_campaign,
+                                   list_campaigns, register_campaign)
+
+__all__ = ["Axis", "RandomAxis", "CampaignMatrix", "CampaignScenario",
+           "CampaignError", "CampaignStore", "CampaignRunner",
+           "CampaignStatus", "derive_scenario_seed", "get_campaign",
+           "campaign_names", "list_campaigns", "register_campaign"]

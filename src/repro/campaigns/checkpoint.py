@@ -1,0 +1,196 @@
+"""Resumable campaign checkpoints: append-only JSONL record stores.
+
+Each campaign gets a directory under ``{cache_dir}/campaigns/`` keyed
+by the matrix's content digest, holding:
+
+* ``manifest.json`` — the matrix definition and scenario count.
+* ``results-*.jsonl`` — one line per completed scenario, appended and
+  flushed as each finishes; the checkpoint.  Every concurrent writer
+  (one per shard spec) appends to its own file, and readers union all
+  of them, deduplicating by scenario id — which is safe precisely
+  because scenario execution is deterministic.
+* ``summary.json`` — the tidy report (written by ``report``).
+
+A killed run loses only the scenarios whose records had not yet been
+appended — the ones in flight, plus (in pool mode) any finished in a
+worker but not yet harvested by the parent — and leaves at most one
+torn trailing line, which the loader skips; rerunning the campaign
+then recomputes exactly the scenarios whose records never made it to
+disk.  Completed-scenario records survive any
+interruption, and the eventual aggregate is byte-identical to an
+uninterrupted run because records carry only deterministic content
+(timings are stored but excluded from summaries).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Any, Dict, List, Optional
+
+from repro.experiments.api import (_canonical, _decode_metrics,
+                                   _canonical_json)
+
+__all__ = ["CampaignStore", "make_record", "write_json_atomic"]
+
+
+def write_json_atomic(path: str, payload: Any) -> None:
+    """Write ``payload`` as pretty sorted JSON via tmp-file + rename,
+    so readers never observe a torn document."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def make_record(scenario, metrics: Dict[str, float],
+                elapsed_s: float) -> Dict[str, Any]:
+    """Build one checkpoint record for a completed scenario."""
+    return {
+        "scenario_id": scenario.scenario_id,
+        "index": scenario.index,
+        "seed": scenario.seed,
+        "params": _canonical(scenario.params),
+        "metrics": _canonical(metrics),
+        "elapsed_s": round(float(elapsed_s), 6),
+    }
+
+
+class CampaignStore:
+    """The on-disk state of one campaign (records + manifest).
+
+    Example::
+
+        store = CampaignStore(matrix, cache_dir=".repro-cache")
+        store.ensure()
+        with store.writer("0of1") as out:
+            out.append(make_record(scenario, metrics, elapsed))
+        store.completed_ids()
+    """
+
+    def __init__(self, matrix, cache_dir: str = ".repro-cache"):
+        self.matrix = matrix
+        self.directory = os.path.join(
+            cache_dir, "campaigns",
+            f"{matrix.name}-{matrix.digest()}")
+
+    @property
+    def manifest_path(self) -> str:
+        """Path of the matrix-definition manifest."""
+        return os.path.join(self.directory, "manifest.json")
+
+    @property
+    def summary_path(self) -> str:
+        """Path the tidy report is written to."""
+        return os.path.join(self.directory, "summary.json")
+
+    def ensure(self) -> None:
+        """Create the campaign directory and manifest if missing."""
+        os.makedirs(self.directory, exist_ok=True)
+        if not os.path.exists(self.manifest_path):
+            manifest = dict(self.matrix.to_manifest())
+            manifest["digest"] = self.matrix.digest()
+            manifest["total_scenarios"] = \
+                self.matrix.total_scenarios()
+            write_json_atomic(self.manifest_path, manifest)
+
+    # -- writing ------------------------------------------------------
+
+    def writer(self, label: str) -> "RecordWriter":
+        """Open the append-only record file for one writer label.
+
+        One label (normally the shard spec, e.g. ``"2of8"``) must have
+        at most one live writer; distinct labels may append
+        concurrently from different processes or machines sharing the
+        cache directory.
+        """
+        self.ensure()
+        path = os.path.join(self.directory,
+                            f"results-{label}.jsonl")
+        return RecordWriter(path)
+
+    # -- reading ------------------------------------------------------
+
+    def _record_files(self) -> List[str]:
+        if not os.path.isdir(self.directory):
+            return []
+        return sorted(
+            os.path.join(self.directory, name)
+            for name in os.listdir(self.directory)
+            if name.startswith("results-") and name.endswith(".jsonl"))
+
+    def load_records(self) -> Dict[str, Dict[str, Any]]:
+        """All completed records, keyed by scenario id.
+
+        Torn trailing lines (from a killed writer) and duplicate ids
+        (from overlapping shard specs) are silently dropped — the
+        first parsed record for an id wins, and determinism guarantees
+        any duplicate would carry identical content anyway.
+        """
+        records: Dict[str, Dict[str, Any]] = {}
+        for path in self._record_files():
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        sid = record["scenario_id"]
+                        record["metrics"] = _decode_metrics(
+                            record["metrics"])
+                    except (ValueError, KeyError, TypeError):
+                        continue      # torn write; will be re-run
+                    records.setdefault(sid, record)
+        return records
+
+    def completed_ids(self) -> set:
+        """Scenario ids that already have a checkpointed record."""
+        return set(self.load_records())
+
+
+class RecordWriter:
+    """Append-and-flush JSONL writer (context manager).
+
+    Records become durable one line at a time: each ``append`` writes
+    a full line and flushes, so a kill loses at most the scenario in
+    flight.  Reopening after a kill first terminates any torn trailing
+    line, so the fragment cannot swallow the next record appended.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[IO[str]] = None
+
+    @staticmethod
+    def _ends_mid_line(path: str) -> bool:
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() == 0:
+                    return False
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) != b"\n"
+        except OSError:
+            return False
+
+    def __enter__(self) -> "RecordWriter":
+        terminate = self._ends_mid_line(self.path)
+        self._fh = open(self.path, "a")
+        if terminate:
+            self._fh.write("\n")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Write one record as a flushed JSONL line."""
+        assert self._fh is not None, "writer used outside `with`"
+        self._fh.write(_canonical_json(record))
+        self._fh.write("\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())

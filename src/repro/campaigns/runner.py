@@ -1,0 +1,283 @@
+"""The sharded, resumable campaign runner and its tidy reports.
+
+Execution model: a matrix expands to its canonical scenario list; a
+*shard* is the subset with ``index % shards == shard_index`` (so N
+independent invocations — processes or machines sharing a cache
+directory — cover the matrix exactly).  Within a shard, scenarios that
+already have a checkpoint record are skipped; the rest run serially or
+over a process pool, and every completion is appended to the shard's
+JSONL checkpoint immediately, so progress survives any interruption.
+
+Because every scenario seeds its own RNGs from a derived seed, the
+per-scenario results are bit-identical however the campaign is
+executed — the property ``tests/campaigns/test_determinism.py`` pins.
+Reports therefore never depend on execution history: ``report()``
+rebuilds the same summary bytes from any complete record set.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    wait
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
+
+from repro.analysis.aggregate import aggregate_metrics, group_rows
+from repro.campaigns.checkpoint import (CampaignStore, make_record,
+                                        write_json_atomic)
+from repro.campaigns.matrix import CampaignMatrix, CampaignScenario
+from repro.experiments.api import _canonical, execute_task
+
+__all__ = ["CampaignRunner", "CampaignStatus", "parse_shard"]
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``I/N`` shard spec (0-based): ``"2/8"`` -> ``(2, 8)``."""
+    index, sep, total = text.partition("/")
+    try:
+        shard = (int(index), int(total if sep else 1))
+    except ValueError:
+        raise ValueError(f"shard spec must be I/N, got {text!r}") \
+            from None
+    if shard[1] < 1 or not 0 <= shard[0] < shard[1]:
+        raise ValueError(
+            f"shard index out of range: {text!r} (need 0 <= I < N)")
+    return shard
+
+
+def _worker(task: Tuple[str, str, Dict[str, Any]]
+            ) -> Tuple[Dict[str, float], float]:
+    """Pool target: run one scenario, returning (metrics, elapsed)."""
+    start = time.perf_counter()
+    metrics = execute_task(*task)
+    return metrics, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress snapshot of one campaign (possibly mid-run)."""
+
+    name: str
+    digest: str
+    total: int
+    completed: int
+    directory: str
+
+    @property
+    def pending(self) -> int:
+        """Scenarios without a checkpoint record yet."""
+        return self.total - self.completed
+
+    @property
+    def done(self) -> bool:
+        """Whether every scenario has a record."""
+        return self.completed >= self.total
+
+
+class CampaignRunner:
+    """Executes campaign matrices with checkpoints and sharding.
+
+    Args:
+        jobs: worker processes per invocation (1 = in-process).
+        cache_dir: root of the ``.repro-cache`` tree; the campaign
+            store lives under ``{cache_dir}/campaigns/``.
+        shard: ``(index, total)`` — run only scenarios with
+            ``index % total == shard_index``.  Distinct shards may run
+            concurrently (other processes/machines on a shared cache
+            dir); together they cover the matrix exactly.
+        progress: optional callback fired per completed scenario with
+            a one-line status string.
+
+    Example::
+
+        runner = CampaignRunner(jobs=4, shard=(0, 2))
+        runner.run(get_campaign("contention-scale"))
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: str = ".repro-cache",
+                 shard: Tuple[int, int] = (0, 1),
+                 progress: Optional[Callable[[str], None]] = None):
+        if shard[1] < 1 or not 0 <= shard[0] < shard[1]:
+            raise ValueError(f"invalid shard {shard}")
+        self.jobs = max(int(jobs), 1)
+        self.cache_dir = cache_dir
+        self.shard = (int(shard[0]), int(shard[1]))
+        self.progress = progress
+
+    # -- helpers ------------------------------------------------------
+
+    def _store(self, matrix: CampaignMatrix) -> CampaignStore:
+        return CampaignStore(matrix, cache_dir=self.cache_dir)
+
+    def _emit(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
+
+    def _status(self, matrix: CampaignMatrix, store: CampaignStore,
+                current: Optional[set] = None,
+                done: Optional[set] = None) -> CampaignStatus:
+        # Count only records matching the *current* expansion:
+        # scenario ids fold in experiment defaults and the surrogate
+        # calibration fingerprint, so records can go stale (and get
+        # recomputed) without the matrix digest changing.  Callers
+        # that already expanded / read the store pass the sets in.
+        if current is None:
+            current = {s.scenario_id for s in matrix.expand()}
+        if done is None:
+            done = store.completed_ids()
+        return CampaignStatus(
+            name=matrix.name, digest=matrix.digest(),
+            total=matrix.total_scenarios(),
+            completed=len(current & done),
+            directory=store.directory)
+
+    # -- public API ---------------------------------------------------
+
+    def status(self, matrix: CampaignMatrix) -> CampaignStatus:
+        """Progress of ``matrix`` without running anything."""
+        return self._status(matrix, self._store(matrix))
+
+    def run(self, matrix: CampaignMatrix,
+            limit: Optional[int] = None) -> CampaignStatus:
+        """Run the matrix's pending scenarios (this runner's shard).
+
+        Completed scenarios (checkpointed by any earlier or concurrent
+        run) are never recomputed.  ``limit`` caps how many pending
+        scenarios this call executes — useful for incremental runs.
+        Returns the post-run status.
+        """
+        store = self._store(matrix)
+        store.ensure()
+        scenarios = matrix.expand()
+        current = {s.scenario_id for s in scenarios}
+        index, total = self.shard
+        mine = [s for s in scenarios if s.index % total == index]
+        done = store.completed_ids()
+        pending = [s for s in mine if s.scenario_id not in done]
+        if limit is not None:
+            pending = pending[:max(limit, 0)]
+        self._emit(f"{matrix.name}: {len(scenarios)} scenarios, "
+                   f"shard {index}/{total} owns {len(mine)}, "
+                   f"{len(pending)} to run")
+        if not pending:
+            return self._status(matrix, store, current=current,
+                                done=done)
+
+        label = f"{index}of{total}"
+        with store.writer(label) as out:
+            if self.jobs > 1:
+                self._run_pool(pending, out)
+            else:
+                self._run_serial(pending, out)
+        return self._status(matrix, store, current=current)
+
+    def _record_done(self, out, scenario: CampaignScenario,
+                     metrics: Dict[str, float], elapsed: float,
+                     position: int, total: int) -> None:
+        out.append(make_record(scenario, metrics, elapsed))
+        self._emit(f"[{position}/{total}] scenario "
+                   f"#{scenario.index} ({scenario.scenario_id}) "
+                   f"done in {elapsed:.2f} s")
+
+    def _run_serial(self, pending: Sequence[CampaignScenario],
+                    out) -> None:
+        for position, scenario in enumerate(pending, 1):
+            task = (scenario.experiment, scenario.module,
+                    scenario.params)
+            metrics, elapsed = _worker(task)
+            self._record_done(out, scenario, metrics, elapsed,
+                              position, len(pending))
+
+    def _run_pool(self, pending: Sequence[CampaignScenario],
+                  out) -> None:
+        workers = min(self.jobs, len(pending))
+        position = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_worker, (s.experiment, s.module,
+                                      s.params)): s
+                for s in pending}
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    scenario = futures[future]
+                    metrics, elapsed = future.result()
+                    position += 1
+                    self._record_done(out, scenario, metrics,
+                                      elapsed, position,
+                                      len(pending))
+
+    def report(self, matrix: CampaignMatrix,
+               group_by: Optional[Sequence[str]] = None,
+               write: bool = True) -> Dict[str, Any]:
+        """Build the campaign's tidy summary from its checkpoints.
+
+        The summary contains one row per completed scenario — the
+        varied parameters plus every metric — in canonical scenario
+        order, campaign-wide metric means, and (optionally) grouped
+        means over ``group_by`` parameters.  It is a pure function of
+        the record *contents*: resumed, resharded and uninterrupted
+        runs of the same matrix produce byte-identical summaries.
+
+        When ``write`` is true the summary JSON is also stored at
+        ``store.summary_path``.
+        """
+        store = self._store(matrix)
+        records = store.load_records()
+        varied = matrix.varied_parameters()
+        rows: List[Dict[str, Any]] = []
+        ordered_metrics: List[Dict[str, float]] = []
+        for scenario in matrix.expand():
+            record = records.get(scenario.scenario_id)
+            if record is None:
+                continue
+            row: Dict[str, Any] = {"index": scenario.index,
+                                   "scenario_id": scenario.scenario_id,
+                                   "seed": scenario.seed}
+            for name in varied:
+                row[name] = _canonical(scenario.params.get(name))
+            row.update(_canonical(record["metrics"]))
+            rows.append(row)
+            # Aggregation follows canonical scenario order (float
+            # sums are order-sensitive), so resumed and uninterrupted
+            # runs summarize to identical bytes.
+            ordered_metrics.append(record["metrics"])
+
+        # Identity digests (exact content hashes) ride in per-scenario
+        # rows for the determinism wall, but a *mean* of hashes is
+        # meaningless noise — keep them out of every averaged view.
+        metric_names = sorted(
+            {k for m in ordered_metrics for k in m
+             if not k.endswith("_digest")})
+        mean_inputs = [{k: v for k, v in m.items()
+                        if k in set(metric_names)}
+                       for m in ordered_metrics]
+        summary: Dict[str, Any] = {
+            "campaign": matrix.name,
+            "experiment": matrix.experiment,
+            "digest": matrix.digest(),
+            "total_scenarios": matrix.total_scenarios(),
+            "completed": len(rows),
+            "varied": varied,
+            "metrics": metric_names,
+            "aggregates": _canonical(
+                aggregate_metrics(mean_inputs)),
+            "rows": rows,
+        }
+        if group_by:
+            unknown = sorted(set(group_by) - set(varied) - {"seed"})
+            if unknown:
+                raise ValueError(
+                    f"cannot group by {unknown}: not varied in "
+                    f"{matrix.name} (varied: {varied})")
+            summary["group_by"] = list(group_by)
+            summary["groups"] = group_rows(rows, list(group_by),
+                                           metric_names)
+        if write:
+            store.ensure()
+            write_json_atomic(store.summary_path, summary)
+        return summary

@@ -1,0 +1,130 @@
+"""Stock campaigns: the matrices shipped with the toolkit.
+
+Three registered campaigns cover the scales the paper's claims live
+at:
+
+* ``smoke-tiny`` — 8 scenarios; the CI smoke matrix and the
+  kill-and-resume test fixture.  Seconds on one core.
+* ``paper-matrix`` — the full regime cross of the figure/table
+  reproductions: every protocol x channel model x interference level
+  x client count x SNR, replicated.  Minutes with a process pool.
+* ``contention-scale`` — the production-scale sweep: >1000 scenarios
+  pushing contention to 50 stations on the surrogate backend, the
+  aggregate-throughput-bottleneck regime.
+
+All three run the :mod:`repro.experiments.cell` experiment on the
+surrogate PHY backend; ``repro campaign list`` prints this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.campaigns.matrix import Axis, CampaignMatrix
+
+__all__ = ["register_campaign", "get_campaign", "campaign_names",
+           "list_campaigns", "UnknownCampaignError"]
+
+
+class UnknownCampaignError(KeyError):
+    """The requested name is not in the campaign registry."""
+
+
+_CAMPAIGNS: Dict[str, CampaignMatrix] = {}
+
+
+def register_campaign(matrix: CampaignMatrix) -> CampaignMatrix:
+    """Add a matrix to the campaign registry (idempotent by digest).
+
+    Example::
+
+        register_campaign(CampaignMatrix(name="mine",
+                                         experiment="cell", ...))
+    """
+    existing = _CAMPAIGNS.get(matrix.name)
+    if existing is not None and existing.digest() != matrix.digest():
+        raise ValueError(
+            f"campaign {matrix.name!r} already registered with a "
+            f"different definition")
+    _CAMPAIGNS[matrix.name] = matrix
+    return matrix
+
+
+def get_campaign(name: str) -> CampaignMatrix:
+    """Look up a registered campaign matrix by name.
+
+    Example::
+
+        get_campaign("contention-scale").total_scenarios()   # >= 1000
+    """
+    try:
+        return _CAMPAIGNS[name]
+    except KeyError:
+        raise UnknownCampaignError(
+            f"unknown campaign {name!r}; available: "
+            f"{campaign_names()}") from None
+
+
+def campaign_names() -> List[str]:
+    """All registered campaign names, sorted."""
+    return sorted(_CAMPAIGNS)
+
+
+def list_campaigns() -> List[CampaignMatrix]:
+    """Registered matrices in :func:`campaign_names` order."""
+    return [_CAMPAIGNS[name] for name in campaign_names()]
+
+
+# --------------------------------------------------------------------
+# Stock definitions
+# --------------------------------------------------------------------
+
+register_campaign(CampaignMatrix(
+    name="smoke-tiny",
+    experiment="cell",
+    description="8-scenario CI smoke matrix (seconds, surrogate)",
+    axes=(
+        Axis("protocol", ("softrate", "rraa")),
+        Axis("n_clients", (1, 2)),
+        Axis("mean_snr_db", (12.0, 22.0)),
+    ),
+    base={"channel": "static", "duration": 0.05,
+          "phy_backend": "surrogate"},
+    seed=2009,
+))
+
+register_campaign(CampaignMatrix(
+    name="paper-matrix",
+    experiment="cell",
+    description="protocol x channel x interference x N x SNR cross "
+                "of the paper's regimes (360 scenarios)",
+    axes=(
+        Axis("protocol", ("softrate", "samplerate", "rraa", "snr",
+                          "omniscient")),
+        Axis("channel", ("walking", "static", "fading")),
+        Axis("carrier_sense_prob", (1.0, 0.4)),
+        Axis("n_clients", (1, 3)),
+        Axis("mean_snr_db", (10.0, 16.0, 22.0)),
+    ),
+    base={"duration": 0.25, "phy_backend": "surrogate"},
+    replicates=2,
+    seed=13,
+))
+
+register_campaign(CampaignMatrix(
+    name="contention-scale",
+    experiment="cell",
+    description="contention sweep to 50 stations on the surrogate "
+                "backend (1152 scenarios)",
+    axes=(
+        Axis("protocol", ("softrate", "samplerate", "rraa",
+                          "snr-untrained")),
+        Axis("n_clients", (1, 2, 4, 8, 16, 25, 35, 50)),
+        Axis("carrier_sense_prob", (1.0, 0.8)),
+        Axis("mean_snr_db", (12.0, 16.0, 22.0)),
+    ),
+    base={"channel": "static", "duration": 0.2, "trace_pool": 8,
+          "phy_backend": "surrogate"},
+    replicates=6,
+    seed=50,
+))

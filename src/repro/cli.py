@@ -18,6 +18,10 @@ Commands:
   fan-out, ``--phy-backend full|surrogate``, cached results,
   JSON/npz output).
 * ``sweep`` — run one experiment across a parameter sweep.
+* ``campaign`` — thousand-scenario sweeps: ``campaign list`` shows the
+  registered matrices, ``campaign run`` executes one (sharded via
+  ``--shard I/N``, resumable from checkpoints), ``campaign status``
+  reports progress, ``campaign report`` builds tidy summary tables.
 * ``calibrate`` — regenerate the surrogate PHY backend's calibration
   table from the full bit-exact pipeline.
 
@@ -299,6 +303,108 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _campaign_matrix(args):
+    """Resolve the campaign name, mapping unknowns to exit code 2."""
+    from repro.campaigns import get_campaign
+    from repro.campaigns.stock import UnknownCampaignError
+
+    try:
+        return get_campaign(args.campaign), None
+    except UnknownCampaignError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return None, 2
+
+
+def _cmd_campaign_list(_args) -> int:
+    from repro.campaigns import list_campaigns
+
+    rows = [[m.name, m.experiment, str(m.total_scenarios()),
+             m.digest(), m.description]
+            for m in list_campaigns()]
+    print(format_table(["campaign", "experiment", "scenarios",
+                        "digest", "description"], rows))
+    print(f"\n{len(rows)} campaigns registered")
+    return 0
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaigns import CampaignRunner
+    from repro.campaigns.runner import parse_shard
+
+    matrix, code = _campaign_matrix(args)
+    if matrix is None:
+        return code
+    try:
+        shard = parse_shard(args.shard)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runner = CampaignRunner(
+        jobs=args.jobs, cache_dir=args.cache_dir, shard=shard,
+        progress=lambda line: print(line, flush=True))
+    status = runner.run(matrix, limit=args.limit)
+    print(f"{status.name}: {status.completed}/{status.total} "
+          f"scenarios checkpointed in {status.directory}")
+    return 0
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.campaigns import CampaignRunner
+
+    matrix, code = _campaign_matrix(args)
+    if matrix is None:
+        return code
+    status = CampaignRunner(cache_dir=args.cache_dir).status(matrix)
+    state = "done" if status.done else \
+        f"{status.pending} pending"
+    print(f"{status.name} [{status.digest}]: "
+          f"{status.completed}/{status.total} complete ({state})")
+    print(f"checkpoints: {status.directory}")
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    from repro.campaigns import CampaignRunner
+
+    matrix, code = _campaign_matrix(args)
+    if matrix is None:
+        return code
+    group_by = [g for g in (args.group_by or "").split(",") if g]
+    runner = CampaignRunner(cache_dir=args.cache_dir)
+    try:
+        summary = runner.report(matrix, group_by=group_by or None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{summary['campaign']}: {summary['completed']}/"
+          f"{summary['total_scenarios']} scenarios summarized")
+    metrics = summary["metrics"]
+    if group_by and summary.get("groups"):
+        headers = group_by + ["n"] + metrics
+        rows = [[str(g.get(k)) for k in group_by] + [str(g["n"])]
+                + [_format_cell(g.get(m)) for m in metrics]
+                for g in summary["groups"]]
+        print(format_table(headers, rows))
+    elif summary["aggregates"]:
+        rows = [[key, _format_cell(summary["aggregates"][key])]
+                for key in metrics]
+        print(format_table(["metric", "mean"], rows))
+    if args.output:
+        from repro.campaigns.checkpoint import write_json_atomic
+        write_json_atomic(args.output, summary)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _format_cell(value) -> str:
+    """One summary-table cell: floats compact, None as ``nan``."""
+    if value is None:
+        return "nan"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
 def _add_runner_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--set", action="append", dest="overrides",
                    default=[], metavar="KEY=VALUE",
@@ -402,6 +508,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--values", required=True,
                    help="comma-separated sweep values")
     _add_runner_options(p)
+
+    p = sub.add_parser(
+        "campaign",
+        help="thousand-scenario sweeps with resumable checkpoints")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+    csub.add_parser("list", help="enumerate registered campaigns")
+    for verb, text in (("run", "run a campaign (resumes from "
+                               "checkpoints)"),
+                       ("status", "report a campaign's progress"),
+                       ("report", "build the tidy summary tables")):
+        cp = csub.add_parser(verb, help=text)
+        cp.add_argument("campaign",
+                        help="campaign name (see `campaign list`)")
+        cp.add_argument("--cache-dir", default=".repro-cache")
+        if verb == "run":
+            cp.add_argument("--jobs", type=int, default=1,
+                            help="worker processes")
+            cp.add_argument("--shard", default="0/1", metavar="I/N",
+                            help="run only scenarios with index %% N "
+                                 "== I (0-based); N invocations "
+                                 "cover the matrix")
+            cp.add_argument("--limit", type=int, default=None,
+                            help="run at most K pending scenarios")
+        if verb == "report":
+            cp.add_argument("--group-by", default=None,
+                            help="comma-separated varied parameters "
+                                 "to group means over")
+            cp.add_argument("--output",
+                            help="also write the summary JSON here")
     return parser
 
 
@@ -417,10 +552,19 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
 }
 
+_CAMPAIGN_HANDLERS = {
+    "list": _cmd_campaign_list,
+    "run": _cmd_campaign_run,
+    "status": _cmd_campaign_status,
+    "report": _cmd_campaign_report,
+}
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.command == "campaign":
+            return _CAMPAIGN_HANDLERS[args.campaign_command](args)
         return _HANDLERS[args.command](args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an

@@ -40,7 +40,8 @@ from repro.analysis.aggregate import aggregate_metrics
 __all__ = ["ExperimentSpec", "Scenario", "ExperimentResult", "Runner",
            "register_experiment", "get_experiment", "experiment_names",
            "list_experiments", "load_all", "run", "derive_seeds",
-           "UnknownParameterError", "UnknownExperimentError"]
+           "execute_task", "UnknownParameterError",
+           "UnknownExperimentError"]
 
 #: Bump to invalidate previously cached results on disk.
 CACHE_VERSION = 1
@@ -55,10 +56,10 @@ PERF_PARAMS = frozenset({"batch_size"})
 #: Modules that self-register an experiment on import; ``load_all``
 #: imports them so the registry is complete in any process.
 _EXPERIMENT_MODULES = (
-    "fig01_channel", "fig03_hints", "fig05_crossrate", "fig07_static",
-    "fig08_mobile", "fig10_interference", "fig13_slow_fading",
-    "fig15_convergence", "fig16_fast_fading", "fig17_interference",
-    "tab01_silent", "tab02_rates",
+    "cell", "fig01_channel", "fig03_hints", "fig05_crossrate",
+    "fig07_static", "fig08_mobile", "fig10_interference",
+    "fig13_slow_fading", "fig15_convergence", "fig16_fast_fading",
+    "fig17_interference", "tab01_silent", "tab02_rates",
 )
 
 
@@ -439,21 +440,28 @@ def derive_seeds(base_seed: int, n: int) -> List[int]:
 # Runner
 # --------------------------------------------------------------------
 
-def _pool_worker(task: Tuple[str, str, Dict[str, Any]]
-                 ) -> Dict[str, float]:
-    """Execute one scenario point in a worker process.
+def execute_task(name: str, module: str,
+                 params: Mapping[str, Any]) -> Dict[str, float]:
+    """Execute one scenario point; safe inside any worker process.
 
     ``module`` is the module that registered the experiment: under a
     ``spawn`` start method the child registry starts empty, and
     importing that module re-registers experiments that live outside
-    the built-in ``_EXPERIMENT_MODULES`` list.
+    the built-in ``_EXPERIMENT_MODULES`` list.  Both the Runner's pool
+    worker and the campaign engine's shard workers funnel through
+    here, so every execution path extracts metrics identically.
     """
-    name, module, params = task
     load_all()
     if name not in _REGISTRY:
         importlib.import_module(module)
     spec = _REGISTRY[name]
-    return spec.extract_metrics(spec.fn(**params))
+    return spec.extract_metrics(spec.fn(**dict(params)))
+
+
+def _pool_worker(task: Tuple[str, str, Dict[str, Any]]
+                 ) -> Dict[str, float]:
+    """Picklable map target for the Runner's process pool."""
+    return execute_task(*task)
 
 
 def _recorded_params(spec: ExperimentSpec, base: Scenario,

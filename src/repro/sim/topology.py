@@ -28,9 +28,45 @@ from repro.sim.wireless import WirelessChannel
 from repro.traces.format import LinkTrace
 
 __all__ = ["AccessPointNetwork", "TcpUplinkResult", "run_tcp_uplink",
-           "make_airtime_fn"]
+           "make_airtime_fn", "MacContentionResult",
+           "run_mac_contention"]
 
 AP_ID = 0
+
+
+def _station_rng(seed: int, sid: int) -> np.random.Generator:
+    """Per-station backoff/collision RNG.
+
+    One formula for every AP-centric topology (TCP uplink and MAC
+    contention), so the two paths cannot silently diverge in how a
+    simulation seed maps to per-station randomness.
+    """
+    return np.random.default_rng(seed + 1000 + sid)
+
+
+def _build_wireless_channel(traces, rng, carrier_sense_prob: float,
+                            detect_prob: float, use_postambles: bool,
+                            phy_backend, rates: RateTable
+                            ) -> WirelessChannel:
+    """Assemble the shared wireless channel for an AP-centric topology.
+
+    Clients sense each other with ``carrier_sense_prob`` while the AP
+    always senses everyone; a backend given by name is resolved with
+    *this* topology's rate table — a backend built against the default
+    table would mis-index (or silently mis-model) any custom rate set.
+    """
+    def cs_prob(listener: int, transmitter: int) -> float:
+        if listener == AP_ID or transmitter == AP_ID:
+            return 1.0
+        return carrier_sense_prob
+
+    if phy_backend is not None:
+        from repro.phy.backend import get_backend
+        phy_backend = get_backend(phy_backend, rates=rates)
+    return WirelessChannel(traces, rng, detect_prob=detect_prob,
+                           use_postambles=use_postambles,
+                           carrier_sense_prob=cs_prob,
+                           phy_backend=phy_backend)
 
 
 def make_airtime_fn(rates: Optional[RateTable] = None
@@ -97,6 +133,13 @@ class AccessPointNetwork:
             or a :class:`repro.phy.backend.PhyBackend` / backend name
             (``"full"`` / ``"surrogate"``) to recompute each fate from
             the trace's SNR trajectory.
+        recycle_traces: allow fewer traces than clients — client ``i``
+            reuses trace ``i % len(traces)`` in each direction.  Trace
+            generation dominates large-``N`` contention sweeps, so
+            campaigns hand a small trace pool to 50+ stations; clients
+            sharing a trace still fade independently of each other in
+            MAC terms (independent backoff RNGs and queues), they just
+            see the same SNR trajectory.
     """
 
     def __init__(self, n_clients: int,
@@ -107,12 +150,15 @@ class AccessPointNetwork:
                  carrier_sense_prob: float = 1.0,
                  detect_prob: float = 0.8, use_postambles: bool = True,
                  mac_config: Optional[MacConfig] = None,
-                 phy_backend=None):
+                 phy_backend=None, recycle_traces: bool = False):
         if n_clients < 1:
             raise ValueError("need at least one client")
-        if len(uplink_traces) < n_clients or \
-                len(downlink_traces) < n_clients:
-            raise ValueError("need one trace per client per direction")
+        if not uplink_traces or not downlink_traces:
+            raise ValueError("need at least one trace per direction")
+        if not recycle_traces and (len(uplink_traces) < n_clients or
+                                   len(downlink_traces) < n_clients):
+            raise ValueError("need one trace per client per direction "
+                             "(or pass recycle_traces=True)")
         self.rates = rates if rates is not None \
             else RATE_TABLE.prototype_subset()
         self.n_clients = n_clients
@@ -122,25 +168,15 @@ class AccessPointNetwork:
         traces = {}
         for i in range(n_clients):
             client = i + 1
-            traces[(client, AP_ID)] = uplink_traces[i]
-            traces[(AP_ID, client)] = downlink_traces[i]
+            traces[(client, AP_ID)] = \
+                uplink_traces[i % len(uplink_traces)]
+            traces[(AP_ID, client)] = \
+                downlink_traces[i % len(downlink_traces)]
         self.traces = traces
 
-        def cs_prob(listener: int, transmitter: int) -> float:
-            if listener == AP_ID or transmitter == AP_ID:
-                return 1.0
-            return carrier_sense_prob
-
-        if phy_backend is not None:
-            # Resolve with *this* network's rate table: a backend
-            # built against the default table would mis-index (or
-            # silently mis-model) any custom rate set.
-            from repro.phy.backend import get_backend
-            phy_backend = get_backend(phy_backend, rates=self.rates)
-        self.channel = WirelessChannel(
-            traces, rng, detect_prob=detect_prob,
-            use_postambles=use_postambles, carrier_sense_prob=cs_prob,
-            phy_backend=phy_backend)
+        self.channel = _build_wireless_channel(
+            traces, rng, carrier_sense_prob, detect_prob,
+            use_postambles, phy_backend, self.rates)
 
         config = mac_config if mac_config is not None else MacConfig()
         airtime = make_airtime_fn(self.rates)
@@ -153,8 +189,7 @@ class AccessPointNetwork:
                 return factory(self.rates, traces.get((sid, peer)))
 
             self.stations[sid] = Station(
-                self.sim, self.channel, sid,
-                np.random.default_rng(seed + 1000 + sid),
+                self.sim, self.channel, sid, _station_rng(seed, sid),
                 adapter_factory=build_adapter,
                 airtime_fn=airtime, config=config,
                 on_deliver=self._on_wireless_deliver)
@@ -233,19 +268,106 @@ def run_tcp_uplink(uplink_traces: Sequence[LinkTrace],
                    carrier_sense_prob: float = 1.0,
                    detect_prob: float = 0.8, use_postambles: bool = True,
                    rates: Optional[RateTable] = None,
-                   phy_backend=None) -> TcpUplinkResult:
+                   phy_backend=None,
+                   recycle_traces: bool = False) -> TcpUplinkResult:
     """Build the Fig. 12 topology, run N uplink TCP flows, return results.
 
     ``phy_backend`` selects how frame fates are computed: ``None`` for
     the traces' precomputed columns, ``"full"`` / ``"surrogate"`` (or
     a :class:`repro.phy.backend.PhyBackend`) to recompute them per
-    transmission from the SNR trajectory.
+    transmission from the SNR trajectory.  ``recycle_traces`` lets a
+    small trace pool serve many clients (see
+    :class:`AccessPointNetwork`).
     """
     network = AccessPointNetwork(
         n_clients=n_clients, uplink_traces=uplink_traces,
         downlink_traces=downlink_traces, adapter_factory=adapter_factory,
         rates=rates, seed=seed, carrier_sense_prob=carrier_sense_prob,
         detect_prob=detect_prob, use_postambles=use_postambles,
-        phy_backend=phy_backend)
+        phy_backend=phy_backend, recycle_traces=recycle_traces)
     network.add_tcp_uplink_flows()
     return network.run(duration)
+
+
+@dataclass
+class MacContentionResult:
+    """Outcome of one :func:`run_mac_contention` experiment."""
+
+    duration: float
+    payload_bits: int
+    per_client_frames: List[int]
+    frame_logs: Dict[int, List[FrameLogEntry]]
+    channel_stats: Dict[str, int]
+
+    @property
+    def per_client_mbps(self) -> List[float]:
+        return [n * self.payload_bits / self.duration / 1e6
+                for n in self.per_client_frames]
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return float(sum(self.per_client_mbps))
+
+
+def run_mac_contention(uplink_traces: Sequence[LinkTrace],
+                       adapter_factory: Callable[..., RateAdapter],
+                       n_clients: int, duration: float = 0.2,
+                       payload_bits: int = 368, seed: int = 1,
+                       carrier_sense_prob: float = 1.0,
+                       detect_prob: float = 0.8,
+                       use_postambles: bool = True,
+                       rates: Optional[RateTable] = None,
+                       phy_backend=None) -> MacContentionResult:
+    """Saturated MAC-level contention: N clients flood the AP.
+
+    A pure link-layer workload — no TCP, no wired segment — so frame
+    sizes are a free knob.  With small payloads this is the cheapest
+    scenario that still exercises contention, backoff, rate adaptation
+    and both PHY backends end to end, which makes it the MAC-level
+    golden pinned by ``tests/golden/regenerate.py``.
+
+    Each client keeps its queue full (refilled on drain) and sends to
+    the AP for ``duration`` seconds; ``uplink_traces`` are recycled
+    across clients when fewer than ``n_clients`` are given.
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if not uplink_traces:
+        raise ValueError("need at least one uplink trace")
+    rate_table = rates if rates is not None \
+        else RATE_TABLE.prototype_subset()
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    traces = {(i + 1, AP_ID): uplink_traces[i % len(uplink_traces)]
+              for i in range(n_clients)}
+    channel = _build_wireless_channel(
+        traces, rng, carrier_sense_prob, detect_prob, use_postambles,
+        phy_backend, rate_table)
+    airtime = make_airtime_fn(rate_table)
+
+    stations: Dict[int, Station] = {}
+
+    def make_refill(sid: int) -> Callable[[], None]:
+        def refill() -> None:
+            while stations[sid].send(AP_ID, None, payload_bits):
+                pass
+        return refill
+
+    for sid in range(n_clients + 1):
+        def build_adapter(peer: int, sid=sid) -> RateAdapter:
+            return adapter_factory(rate_table,
+                                   traces.get((sid, peer)))
+
+        stations[sid] = Station(
+            sim, channel, sid, _station_rng(seed, sid),
+            adapter_factory=build_adapter, airtime_fn=airtime,
+            on_queue_drain=make_refill(sid) if sid != AP_ID else None)
+    for sid in range(1, n_clients + 1):
+        make_refill(sid)()
+    sim.run_until(duration)
+    return MacContentionResult(
+        duration=duration, payload_bits=payload_bits,
+        per_client_frames=[stations[s].delivered_frames
+                           for s in range(1, n_clients + 1)],
+        frame_logs={sid: st.frame_log for sid, st in stations.items()},
+        channel_stats=dict(channel.stats))

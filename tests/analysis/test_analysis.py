@@ -112,3 +112,88 @@ class TestFormatTable:
     def test_float_formatting(self):
         table = format_table(["x"], [[1.5e-7]])
         assert "1.50e-07" in table
+
+
+class TestGroupRows:
+    def _rows(self):
+        return [
+            {"index": i, "scenario_id": f"s{i}", "seed": i,
+             "protocol": p, "n_clients": n, "mbps": float(i),
+             "conv": None if i == 0 else float(i)}
+            for i, (p, n) in enumerate(
+                (p, n) for n in (1, 2, 16) for p in ("b", "a"))]
+
+    def test_numeric_keys_sort_numerically(self):
+        from repro.analysis.aggregate import group_rows
+        groups = group_rows(self._rows(), ["n_clients"])
+        assert [g["n_clients"] for g in groups] == [1, 2, 16]
+
+    def test_string_keys_sort_lexicographically(self):
+        from repro.analysis.aggregate import group_rows
+        groups = group_rows(self._rows(), ["protocol"])
+        assert [g["protocol"] for g in groups] == ["a", "b"]
+
+    def test_default_metrics_exclude_string_columns(self):
+        from repro.analysis.aggregate import group_rows
+        groups = group_rows(self._rows(), ["n_clients"])
+        assert "protocol" not in set(groups[0]) - {"n_clients", "n"}
+        assert "mbps" in groups[0]
+
+    def test_none_means_all_nan(self):
+        from repro.analysis.aggregate import group_rows
+        rows = [{"k": 1, "m": None}, {"k": 1, "m": None}]
+        groups = group_rows(rows, ["k"], ["m"])
+        assert groups == [{"k": 1, "n": 2, "m": None}]
+
+    def test_nan_aware_mean_skips_missing(self):
+        from repro.analysis.aggregate import group_rows
+        rows = [{"k": 1, "m": 2.0}, {"k": 1, "m": None},
+                {"k": 1, "m": 4.0}]
+        groups = group_rows(rows, ["k"], ["m"])
+        assert groups[0]["m"] == 3.0
+
+    def test_explicit_metrics_respected(self):
+        from repro.analysis.aggregate import group_rows
+        groups = group_rows(self._rows(), ["protocol"],
+                            ["mbps"])
+        assert set(groups[0]) == {"protocol", "n", "mbps"}
+
+
+class TestSettlingTime:
+    def _log(self, rates, dt=0.01):
+        from repro.sim.mac import FrameLogEntry
+        return [FrameLogEntry(time=i * dt, src=1, dest=0,
+                              rate_index=r, kind="clean",
+                              delivered=True, retry=0)
+                for i, r in enumerate(rates)]
+
+    def test_immediate_settle_is_zero(self):
+        from repro.analysis.metrics import settling_time
+        log = self._log([3] * 30)
+        assert settling_time(log) == 0.0
+
+    def test_settles_after_transient(self):
+        from repro.analysis.metrics import settling_time
+        log = self._log([1, 2] * 6 + [3] * 40)
+        t = settling_time(log)
+        # 12-frame transient; the first window with >= 80% target
+        # frames starts inside it, but strictly after frame 0.
+        assert 0.0 < t <= 0.12 + 1e-12
+
+    def test_persistent_oscillation_is_nan(self):
+        """Ending on the modal rate must not count as settling."""
+        import math
+        from repro.analysis.metrics import settling_time
+        log = self._log([3, 4] * 30 + [3])
+        assert math.isnan(settling_time(log))
+
+    def test_short_log_uses_clamped_full_window(self):
+        import math
+        from repro.analysis.metrics import settling_time
+        assert settling_time(self._log([5] * 6)) == 0.0
+        assert math.isnan(settling_time(self._log([5, 4] * 3)))
+
+    def test_empty_log_is_nan(self):
+        import math
+        from repro.analysis.metrics import settling_time
+        assert math.isnan(settling_time([]))

@@ -1,0 +1,39 @@
+"""Shared fixtures for the campaign engine tests.
+
+Registers two tiny throwaway experiments so matrix/runner semantics
+can be tested without paying for real simulations:
+
+* ``camp-fast`` — milliseconds per cell, seed-sensitive metrics (the
+  serial runner/checkpoint tests).
+* ``camp-prop`` — a wide parameter space for hypothesis to draw axes
+  from (the expansion property tests).
+
+The determinism wall and the kill-and-resume integration test use the
+real ``cell`` experiment instead: they exist to pin the behaviour of
+the production path.
+"""
+
+import numpy as np
+
+from repro.experiments.api import register_experiment
+
+
+@register_experiment(
+    "camp-fast",
+    description="fast deterministic cell for campaign runner tests",
+    params={"x": 0, "y": 0.0, "seed": 1, "replicate": 0})
+def run_camp_fast(x=0, y=0.0, seed=1, replicate=0):
+    """Cheap seed-sensitive metrics (runs in microseconds)."""
+    rng = np.random.default_rng(seed)
+    return {"value": float(x) + float(y) + float(rng.integers(1000)),
+            "seed_echo": float(seed % 1000003)}
+
+
+@register_experiment(
+    "camp-prop",
+    description="wide parameter space for matrix property tests",
+    params={"a": 0, "b": 0, "c": 0, "d": 0, "seed": 1,
+            "replicate": 0})
+def run_camp_prop(a=0, b=0, c=0, d=0, seed=1, replicate=0):
+    """Never executed by the property tests; expansion only."""
+    return {"value": float(a + b + c + d)}

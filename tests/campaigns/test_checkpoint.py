@@ -1,0 +1,96 @@
+"""Checkpoint store: durability, torn writes, dedupe, manifests."""
+
+import json
+import math
+import os
+
+from repro.campaigns.checkpoint import CampaignStore, make_record
+from repro.campaigns.matrix import Axis, CampaignMatrix
+
+
+def _matrix():
+    return CampaignMatrix(name="ck", experiment="camp-fast",
+                          axes=(Axis("x", (1, 2, 3)),), seed=1)
+
+
+class TestStoreBasics:
+    def test_manifest_written_once(self, tmp_path):
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        store.ensure()
+        with open(store.manifest_path) as fh:
+            manifest = json.load(fh)
+        assert manifest["name"] == "ck"
+        assert manifest["total_scenarios"] == 3
+        assert manifest["digest"] == _matrix().digest()
+        before = os.path.getmtime(store.manifest_path)
+        store.ensure()
+        assert os.path.getmtime(store.manifest_path) == before
+
+    def test_directory_keyed_by_digest(self, tmp_path):
+        a = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        edited = CampaignMatrix(name="ck", experiment="camp-fast",
+                                axes=(Axis("x", (1, 2, 4)),), seed=1)
+        b = CampaignStore(edited, cache_dir=str(tmp_path))
+        assert a.directory != b.directory
+
+    def test_empty_store_reads_cleanly(self, tmp_path):
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        assert store.load_records() == {}
+        assert store.completed_ids() == set()
+
+
+class TestRecords:
+    def test_roundtrip_with_nan_metrics(self, tmp_path):
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        scenario = _matrix().expand()[0]
+        with store.writer("0of1") as out:
+            out.append(make_record(
+                scenario, {"mbps": 1.5, "conv": float("nan")}, 0.2))
+        record = store.load_records()[scenario.scenario_id]
+        assert record["metrics"]["mbps"] == 1.5
+        assert math.isnan(record["metrics"]["conv"])
+        assert record["index"] == scenario.index
+        assert record["seed"] == scenario.seed
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        scenarios = _matrix().expand()
+        with store.writer("0of1") as out:
+            out.append(make_record(scenarios[0], {"m": 1.0}, 0.1))
+        path = os.path.join(store.directory, "results-0of1.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"scenario_id": "deadbeef", "metr')   # killed
+        assert store.completed_ids() == {scenarios[0].scenario_id}
+
+    def test_append_after_torn_line_preserves_new_record(self,
+                                                         tmp_path):
+        """Resuming over a torn trailing line must not let the
+        fragment swallow the first record the resumed run appends."""
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        scenarios = _matrix().expand()
+        with store.writer("0of1") as out:
+            out.append(make_record(scenarios[0], {"m": 1.0}, 0.1))
+        path = os.path.join(store.directory, "results-0of1.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"scenario_id": "dead')       # killed mid-write
+        with store.writer("0of1") as out:           # resume
+            out.append(make_record(scenarios[1], {"m": 2.0}, 0.1))
+        assert store.completed_ids() == {scenarios[0].scenario_id,
+                                         scenarios[1].scenario_id}
+
+    def test_duplicate_ids_deduped_across_files(self, tmp_path):
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        scenario = _matrix().expand()[0]
+        for label in ("0of2", "1of2"):
+            with store.writer(label) as out:
+                out.append(make_record(scenario, {"m": 2.0}, 0.1))
+        assert len(store.load_records()) == 1
+
+    def test_append_survives_reopen(self, tmp_path):
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        scenarios = _matrix().expand()
+        with store.writer("0of1") as out:
+            out.append(make_record(scenarios[0], {"m": 1.0}, 0.1))
+        with store.writer("0of1") as out:
+            out.append(make_record(scenarios[1], {"m": 2.0}, 0.1))
+        assert len(store.load_records()) == 2

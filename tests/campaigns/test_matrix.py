@@ -1,0 +1,248 @@
+"""Matrix expansion: validation units + hypothesis property wall.
+
+The properties the campaign engine's correctness rests on:
+
+* expansion is a pure function of the matrix (stable ordering),
+* scenario identities (cache keys) are unique and insensitive to the
+  order axes were declared in,
+* derived seeds are unique per scenario and independent of execution
+  schedule.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns.matrix import (Axis, CampaignError,
+                                    CampaignMatrix, RandomAxis,
+                                    derive_scenario_seed)
+from repro.experiments.api import UnknownParameterError
+
+# ------------------------------------------------------------------
+# Unit validation
+# ------------------------------------------------------------------
+
+
+class TestAxisValidation:
+    def test_empty_values_rejected(self):
+        with pytest.raises(CampaignError, match="no values"):
+            Axis("a", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(CampaignError, match="repeats"):
+            Axis("a", (1, 2, 1))
+
+    def test_int_and_float_values_are_distinct(self):
+        # 1 and 1.0 canonicalize differently, so both may appear.
+        axis = Axis("a", (1, 1.0))
+        assert len(axis.values) == 2
+
+    def test_random_axis_bounds(self):
+        with pytest.raises(CampaignError, match="high > low"):
+            RandomAxis("a", 2.0, 2.0)
+        with pytest.raises(CampaignError, match="log"):
+            RandomAxis("a", 0.0, 1.0, log=True)
+
+    def test_random_axis_draws_in_range_and_deterministic(self):
+        axis = RandomAxis("snr", 6.0, 24.0)
+        draws = [axis.draw(7, i) for i in range(50)]
+        assert all(6.0 <= v <= 24.0 for v in draws)
+        assert draws == [axis.draw(7, i) for i in range(50)]
+        assert len(set(draws)) > 40      # actually spread out
+
+    def test_random_axis_integer_and_log(self):
+        ints = RandomAxis("n", 1, 50, integer=True)
+        values = {ints.draw(3, i) for i in range(80)}
+        assert all(isinstance(v, int) for v in values)
+        assert all(1 <= v <= 50 for v in values)
+        logs = RandomAxis("x", 1e-3, 1.0, log=True)
+        draws = [logs.draw(3, i) for i in range(200)]
+        assert all(1e-3 <= v <= 1.0 for v in draws)
+        # Log sampling: about half the draws below the geometric mean.
+        below = sum(1 for v in draws if v < 10 ** -1.5)
+        assert 0.3 < below / len(draws) < 0.7
+
+
+class TestMatrixValidation:
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(CampaignError, match="duplicate"):
+            CampaignMatrix(name="m", experiment="camp-prop",
+                           axes=(Axis("a", (1,)), Axis("a", (2,))))
+
+    def test_axis_also_in_base_rejected(self):
+        with pytest.raises(CampaignError, match="pinned in base"):
+            CampaignMatrix(name="m", experiment="camp-prop",
+                           axes=(Axis("a", (1,)),), base={"a": 2})
+
+    def test_samples_without_random_axes_rejected(self):
+        with pytest.raises(CampaignError, match="no random axes"):
+            CampaignMatrix(name="m", experiment="camp-prop",
+                           samples=4)
+
+    def test_random_axes_without_samples_rejected(self):
+        with pytest.raises(CampaignError, match="samples"):
+            CampaignMatrix(name="m", experiment="camp-prop",
+                           random_axes=(RandomAxis("a", 0.0, 1.0),))
+
+    def test_unknown_axis_parameter_rejected_at_expand(self):
+        matrix = CampaignMatrix(name="m", experiment="camp-prop",
+                                axes=(Axis("bogus", (1, 2)),))
+        with pytest.raises(UnknownParameterError, match="bogus"):
+            matrix.expand()
+
+    def test_replicates_must_be_positive(self):
+        with pytest.raises(CampaignError, match="replicates"):
+            CampaignMatrix(name="m", experiment="camp-prop",
+                           replicates=0)
+
+    def test_replicates_with_pinned_seed_rejected(self):
+        """Replicates only vary the derived seed; pinning the seed
+        would silently repeat identical simulations N times."""
+        matrix = CampaignMatrix(name="m", experiment="camp-prop",
+                                axes=(Axis("a", (1, 2)),),
+                                base={"seed": 7}, replicates=3)
+        with pytest.raises(CampaignError, match="pinned"):
+            matrix.expand()
+        as_axis = CampaignMatrix(name="m", experiment="camp-prop",
+                                 axes=(Axis("seed", (1, 2)),),
+                                 replicates=3)
+        with pytest.raises(CampaignError, match="pinned"):
+            as_axis.expand()
+
+
+class TestExpansionBasics:
+    def test_varied_parameters_sorted_with_replicate(self):
+        matrix = CampaignMatrix(
+            name="m", experiment="camp-prop",
+            axes=(Axis("b", (1,)), Axis("a", (1,))),
+            random_axes=(RandomAxis("c", 0.0, 1.0),), samples=2,
+            replicates=2)
+        assert matrix.varied_parameters() == ["a", "b", "c",
+                                             "replicate"]
+
+    def test_total_matches_expansion(self):
+        matrix = CampaignMatrix(
+            name="m", experiment="camp-prop",
+            axes=(Axis("a", (1, 2, 3)), Axis("b", (0, 1))),
+            random_axes=(RandomAxis("c", 0.0, 1.0),), samples=2,
+            replicates=2)
+        scenarios = matrix.expand()
+        assert len(scenarios) == matrix.total_scenarios() == 24
+        assert [s.index for s in scenarios] == list(range(24))
+
+    def test_pinned_seed_suppresses_derivation(self):
+        matrix = CampaignMatrix(name="m", experiment="camp-prop",
+                                axes=(Axis("a", (1, 2)),),
+                                base={"seed": 99})
+        scenarios = matrix.expand()
+        assert all(s.seed is None for s in scenarios)
+        assert all(s.params["seed"] == 99 for s in scenarios)
+
+    def test_derived_seed_written_into_params(self):
+        matrix = CampaignMatrix(name="m", experiment="camp-prop",
+                                axes=(Axis("a", (1, 2)),), seed=5)
+        for scenario in matrix.expand():
+            assert scenario.params["seed"] == scenario.seed
+
+    def test_campaign_seed_changes_scenario_seeds(self):
+        def seeds(campaign_seed):
+            return [s.seed for s in CampaignMatrix(
+                name="m", experiment="camp-prop",
+                axes=(Axis("a", (1, 2)),),
+                seed=campaign_seed).expand()]
+        assert seeds(1) != seeds(2)
+
+    def test_derive_scenario_seed_is_stable(self):
+        assert derive_scenario_seed(1, "k") == \
+            derive_scenario_seed(1, "k")
+        assert derive_scenario_seed(1, "k") != \
+            derive_scenario_seed(2, "k")
+
+    def test_colliding_integer_draws_become_replicates(self):
+        """An integer random axis over a narrow range collides almost
+        surely at realistic sample counts; colliding draws must act
+        like replicates (distinct seeds), not abort the expansion."""
+        matrix = CampaignMatrix(
+            name="m", experiment="camp-prop",
+            random_axes=(RandomAxis("a", 1, 4, integer=True),),
+            samples=40, seed=5)
+        scenarios = matrix.expand()
+        assert len(scenarios) == 40
+        values = [s.params["a"] for s in scenarios]
+        assert len(set(values)) < 40      # collisions did happen
+        seeds = [s.seed for s in scenarios]
+        assert len(set(seeds)) == 40
+
+
+# ------------------------------------------------------------------
+# Property wall (hypothesis)
+# ------------------------------------------------------------------
+
+_AXIS_NAMES = ("a", "b", "c", "d")
+
+
+@st.composite
+def matrices(draw):
+    """A random valid matrix over the camp-prop parameter space."""
+    n_axes = draw(st.integers(1, 3))
+    names = draw(st.permutations(_AXIS_NAMES))[:n_axes]
+    axes = tuple(
+        Axis(name, tuple(draw(st.lists(st.integers(-50, 50),
+                                       min_size=1, max_size=4,
+                                       unique=True))))
+        for name in names)
+    remaining = [n for n in _AXIS_NAMES if n not in names]
+    random_axes = ()
+    samples = 0
+    if remaining and draw(st.booleans()):
+        random_axes = (RandomAxis(remaining[0], 0.0, 100.0),)
+        samples = draw(st.integers(1, 3))
+    return CampaignMatrix(
+        name="prop", experiment="camp-prop", axes=axes,
+        random_axes=random_axes, samples=samples,
+        replicates=draw(st.integers(1, 3)),
+        seed=draw(st.integers(0, 2 ** 16)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=matrices())
+def test_expansion_is_stable_and_duplicate_free(matrix):
+    scenarios = matrix.expand()
+    assert len(scenarios) == matrix.total_scenarios()
+    ids = [s.scenario_id for s in scenarios]
+    assert len(set(ids)) == len(ids), "duplicate scenario identities"
+    assert scenarios == matrix.expand(), "expansion not stable"
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=matrices())
+def test_derived_seeds_unique_per_scenario(matrix):
+    seeds = [s.seed for s in matrix.expand()]
+    assert None not in seeds
+    assert len(set(seeds)) == len(seeds)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=matrices(), data=st.data())
+def test_axis_declaration_order_is_irrelevant(matrix, data):
+    """Reordering axis declarations changes neither the digest, nor
+    the expansion order, nor any scenario's cache key or seed."""
+    shuffled = CampaignMatrix(
+        name=matrix.name, experiment=matrix.experiment,
+        axes=tuple(data.draw(st.permutations(matrix.axes))),
+        random_axes=matrix.random_axes, samples=matrix.samples,
+        base=matrix.base, replicates=matrix.replicates,
+        seed=matrix.seed)
+    assert shuffled.digest() == matrix.digest()
+    assert shuffled.expand() == matrix.expand()
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=matrices())
+def test_scenario_params_complete_and_validated(matrix):
+    """Every scenario carries the full merged parameterization."""
+    from repro.experiments.api import get_experiment
+
+    declared = set(get_experiment("camp-prop").params)
+    for scenario in matrix.expand():
+        assert set(scenario.params) == declared

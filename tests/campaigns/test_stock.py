@@ -1,0 +1,61 @@
+"""Stock campaign registry invariants."""
+
+import pytest
+
+from repro.campaigns import (campaign_names, get_campaign,
+                             list_campaigns, register_campaign)
+from repro.campaigns.matrix import Axis, CampaignMatrix
+from repro.campaigns.stock import UnknownCampaignError
+
+
+class TestRegistry:
+    def test_stock_names(self):
+        assert set(campaign_names()) >= {"smoke-tiny", "paper-matrix",
+                                         "contention-scale"}
+
+    def test_unknown_campaign_lists_available(self):
+        with pytest.raises(UnknownCampaignError, match="smoke-tiny"):
+            get_campaign("nope")
+
+    def test_list_matches_names(self):
+        assert [m.name for m in list_campaigns()] == campaign_names()
+
+    def test_reregister_same_definition_is_idempotent(self):
+        register_campaign(get_campaign("smoke-tiny"))
+
+    def test_reregister_different_definition_rejected(self):
+        with pytest.raises(ValueError, match="different"):
+            register_campaign(CampaignMatrix(
+                name="smoke-tiny", experiment="cell",
+                axes=(Axis("n_clients", (1,)),)))
+
+
+class TestStockDefinitions:
+    def test_all_stock_campaigns_expand(self):
+        for matrix in list_campaigns():
+            scenarios = matrix.expand()
+            assert len(scenarios) == matrix.total_scenarios()
+            assert matrix.description
+
+    def test_smoke_tiny_is_eight_scenarios(self):
+        assert get_campaign("smoke-tiny").total_scenarios() == 8
+
+    def test_contention_scale_exceeds_one_thousand(self):
+        matrix = get_campaign("contention-scale")
+        assert matrix.total_scenarios() >= 1000
+        assert matrix.base["phy_backend"] == "surrogate"
+        n_axis = {a.name: a for a in matrix.axes}["n_clients"]
+        assert max(n_axis.values) >= 50
+
+    def test_paper_matrix_covers_all_regimes(self):
+        matrix = get_campaign("paper-matrix")
+        axes = {a.name: set(a.values) for a in matrix.axes}
+        assert axes["channel"] == {"walking", "static", "fading"}
+        assert len(axes["protocol"]) >= 5
+        assert len(axes["carrier_sense_prob"]) >= 2
+
+    def test_stock_campaigns_are_surrogate_backed(self):
+        for matrix in list_campaigns():
+            if matrix.name in ("smoke-tiny", "paper-matrix",
+                               "contention-scale"):
+                assert matrix.base["phy_backend"] == "surrogate"

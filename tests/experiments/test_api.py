@@ -10,19 +10,25 @@ from repro.experiments.api import (ExperimentResult, Runner, Scenario,
                                    experiment_names, get_experiment,
                                    list_experiments, load_all, run)
 
-#: One registration per figXX/tabXX module (and nothing else).
-EXPECTED = {"fig01", "fig03", "fig05", "fig07", "fig08", "fig10",
-            "fig13", "fig15", "fig16", "fig17", "tab01", "tab02"}
+#: One registration per experiment module (and nothing else): the
+#: figXX/tabXX reproductions plus the campaign matrix cell.
+EXPECTED = {"cell", "fig01", "fig03", "fig05", "fig07", "fig08",
+            "fig10", "fig13", "fig15", "fig16", "fig17", "tab01",
+            "tab02"}
 
 
 class TestRegistry:
     def test_every_module_registered_exactly_once(self):
-        assert set(experiment_names()) == EXPECTED
+        # Test suites may register throwaway experiments (e.g. the
+        # campaign fixtures), so restrict the exactness claim to the
+        # repro.experiments tree.
+        builtin = {name for name in experiment_names()
+                   if get_experiment(name).fn.__module__.startswith(
+                       "repro.experiments.")}
+        assert builtin == EXPECTED
         modules = [get_experiment(name).fn.__module__
-                   for name in experiment_names()]
+                   for name in sorted(builtin)]
         assert len(set(modules)) == len(modules)
-        for module in modules:
-            assert module.startswith("repro.experiments.")
 
     def test_specs_are_described(self):
         for spec in list_experiments():

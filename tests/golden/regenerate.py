@@ -1,12 +1,16 @@
 #!/usr/bin/env python
-"""Regenerate the golden PHY regression fixtures.
+"""Regenerate the golden PHY and MAC regression fixtures.
 
-The goldens pin fig07/fig08-style BER points at fixed seeds: small,
-fully deterministic Monte Carlo runs whose per-frame BER estimates,
-ground truths, and SNR estimates are committed as JSON.  The
-regression test (``tests/test_golden_regression.py``) re-runs the same
-configurations and asserts the numbers still match within a tight
-tolerance, so a PHY refactor cannot silently shift the paper's curves.
+The PHY goldens (``phy_ber_points.json``) pin fig07/fig08-style BER
+points at fixed seeds: small, fully deterministic Monte Carlo runs
+whose per-frame BER estimates, ground truths, and SNR estimates are
+committed as JSON.  The MAC goldens (``mac_throughput.json``) pin
+per-protocol throughput points of a small fixed contention scenario
+under both PHY backends — delivered frame counts, aggregate Mbps, and
+an exact frame-log digest.  The regression test
+(``tests/test_golden_regression.py``) re-runs the same configurations
+and asserts the numbers still match within a tight tolerance, so a
+PHY *or MAC* refactor cannot silently shift the paper's curves.
 
 Run from the repository root (only needed when a change is *supposed*
 to alter PHY numerics — say so in the commit message):
@@ -28,6 +32,7 @@ import numpy as np
 
 GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
 GOLDEN_PATH = os.path.join(GOLDEN_DIR, "phy_ber_points.json")
+MAC_GOLDEN_PATH = os.path.join(GOLDEN_DIR, "mac_throughput.json")
 
 #: The pinned configurations.  Small enough to run in seconds, broad
 #: enough to cover every modulation, both puncturing rates, padded
@@ -85,6 +90,58 @@ def compute_fig08(config):
 
 COMPUTERS = {"fig07": compute_fig07, "fig08": compute_fig08}
 
+#: The pinned MAC-level contention scenario: two clients flood the AP
+#: with small frames for 20 ms over a static short-range channel —
+#: the cheapest configuration that exercises contention, backoff and
+#: rate adaptation under *both* PHY backends (the full backend decodes
+#: every frame bit-exactly, so the run must stay tiny).
+MAC_CONFIG = {
+    "seed": 3,
+    "trace_seed": 42,
+    "payload_bits": 368,
+    "duration": 0.02,
+    "trace_duration": 0.12,
+    "n_clients": 2,
+    "mean_snr_db": 14.0,
+    "protocols": ["softrate", "rraa", "samplerate"],
+    "backends": ["surrogate", "full"],
+}
+
+
+def compute_mac_point(config, backend, protocol):
+    """One (backend, protocol) throughput point of the MAC golden."""
+    from repro.analysis.metrics import frame_log_digest
+    from repro.experiments.common import protocol_factory
+    from repro.sim.topology import run_mac_contention
+    from repro.traces.workloads import static_short_range_traces
+
+    traces = static_short_range_traces(
+        config["n_clients"], duration=config["trace_duration"],
+        mean_snr_db=config["mean_snr_db"], seed=config["trace_seed"],
+        payload_bits=config["payload_bits"])
+    result = run_mac_contention(
+        traces, protocol_factory(protocol),
+        n_clients=config["n_clients"], duration=config["duration"],
+        payload_bits=config["payload_bits"], seed=config["seed"],
+        phy_backend=backend)
+    return {
+        "per_client_frames": list(result.per_client_frames),
+        "aggregate_mbps": result.aggregate_mbps,
+        "n_attempts": sum(len(log)
+                          for log in result.frame_logs.values()),
+        "frame_log_digest": frame_log_digest(result.frame_logs),
+    }
+
+
+def compute_mac(config):
+    points = {}
+    for backend in config["backends"]:
+        for protocol in config["protocols"]:
+            print(f"  mac: {backend}/{protocol} ...", flush=True)
+            points[f"{backend}/{protocol}"] = \
+                compute_mac_point(config, backend, protocol)
+    return points
+
 
 def main() -> int:
     goldens = {}
@@ -96,6 +153,12 @@ def main() -> int:
         json.dump(goldens, fh, indent=1, sort_keys=True)
         fh.write("\n")
     print(f"wrote {GOLDEN_PATH}")
+    print("computing mac golden ...", flush=True)
+    mac = {"config": MAC_CONFIG, "points": compute_mac(MAC_CONFIG)}
+    with open(MAC_GOLDEN_PATH, "w") as fh:
+        json.dump(mac, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {MAC_GOLDEN_PATH}")
     return 0
 
 

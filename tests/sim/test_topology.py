@@ -70,3 +70,77 @@ class TestTcpUplink:
         with pytest.raises(ValueError):
             run_tcp_uplink([], [], lambda r, t: FixedRate(r, 0),
                            n_clients=1)
+
+
+class TestRecycledTraces:
+    def test_small_pool_serves_many_clients(self):
+        result = run_tcp_uplink(
+            _traces(2), _traces(2),
+            lambda rates, trace: FixedRate(rates, 4),
+            n_clients=5, duration=1.0, recycle_traces=True)
+        assert len(result.per_flow_mbps) == 5
+        assert result.aggregate_mbps > 0.0
+
+    def test_recycling_assigns_traces_round_robin(self):
+        up = _traces(2)
+        from repro.sim.topology import AccessPointNetwork, AP_ID
+        network = AccessPointNetwork(
+            n_clients=5, uplink_traces=up, downlink_traces=_traces(2),
+            adapter_factory=lambda rates, trace: FixedRate(rates, 4),
+            recycle_traces=True)
+        assert network.traces[(1, AP_ID)] is up[0]
+        assert network.traces[(2, AP_ID)] is up[1]
+        assert network.traces[(3, AP_ID)] is up[0]
+
+    def test_without_flag_requires_full_pool(self):
+        with pytest.raises(ValueError, match="recycle_traces"):
+            run_tcp_uplink(
+                _traces(2), _traces(2),
+                lambda rates, trace: FixedRate(rates, 4),
+                n_clients=5, duration=0.5)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="at least one trace"):
+            run_tcp_uplink(
+                [], [], lambda rates, trace: FixedRate(rates, 4),
+                n_clients=1, duration=0.5, recycle_traces=True)
+
+
+class TestMacContention:
+    def _run(self, **kwargs):
+        from repro.sim.topology import run_mac_contention
+        defaults = dict(n_clients=2, duration=0.1, payload_bits=368,
+                        seed=3)
+        defaults.update(kwargs)
+        return run_mac_contention(
+            _traces(2, best_rate=3),
+            lambda rates, trace: FixedRate(rates, 3), **defaults)
+
+    def test_saturated_clients_deliver_frames(self):
+        result = self._run()
+        assert len(result.per_client_frames) == 2
+        assert all(n > 5 for n in result.per_client_frames)
+        assert result.aggregate_mbps > 0.5
+        assert sum(len(log) for log in result.frame_logs.values()) \
+            >= sum(result.per_client_frames)
+
+    def test_deterministic_across_calls(self):
+        from repro.analysis.metrics import frame_log_digest
+        a, b = self._run(), self._run()
+        assert a.per_client_frames == b.per_client_frames
+        assert frame_log_digest(a.frame_logs) == \
+            frame_log_digest(b.frame_logs)
+
+    def test_seed_changes_outcome(self):
+        from repro.analysis.metrics import frame_log_digest
+        a, b = self._run(seed=3), self._run(seed=4)
+        assert frame_log_digest(a.frame_logs) != \
+            frame_log_digest(b.frame_logs)
+
+    def test_trace_pool_recycled(self):
+        result = self._run(n_clients=4)
+        assert len(result.per_client_frames) == 4
+
+    def test_backend_accepted(self):
+        result = self._run(phy_backend="surrogate", duration=0.05)
+        assert len(result.per_client_frames) == 2

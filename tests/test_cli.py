@@ -81,9 +81,13 @@ class TestList:
     def test_enumerates_registry(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in ("fig01", "fig13", "tab01", "tab02"):
+        for name in ("cell", "fig01", "fig13", "tab01", "tab02"):
             assert name in out
-        assert "12 experiments registered" in out
+        # 13 built-ins; test suites may have registered extras.
+        import re
+        count = int(re.search(r"(\d+) experiments registered",
+                              out).group(1))
+        assert count >= 13
 
 
 class TestRun:
@@ -144,8 +148,8 @@ class TestListDeterminism:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         names = [line.split()[0] for line in out.splitlines()
-                 if line.startswith(("fig", "tab"))]
-        assert len(names) == 12
+                 if line.startswith(("cell", "fig", "tab"))]
+        assert len(names) >= 13
         assert names == sorted(names)
 
     def test_two_invocations_identical(self, capsys):
@@ -200,3 +204,58 @@ class TestCalibrateCommand:
         with pytest.raises(SystemExit, match="snr-step"):
             main(["calibrate", "--output", str(tmp_path / "c.json"),
                   "--snr-step", "-1"])
+
+
+class TestCampaign:
+    def test_list_enumerates_stock_campaigns(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke-tiny", "paper-matrix", "contention-scale"):
+            assert name in out
+        assert "campaigns registered" in out
+
+    def test_unknown_campaign_fails_cleanly(self, capsys):
+        assert main(["campaign", "run", "nope"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+        assert main(["campaign", "status", "nope"]) == 2
+        assert main(["campaign", "report", "nope"]) == 2
+
+    def test_bad_shard_spec_fails_cleanly(self, tmp_path, capsys):
+        assert main(["campaign", "run", "smoke-tiny",
+                     "--cache-dir", str(tmp_path),
+                     "--shard", "5/2"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_run_status_report_roundtrip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        out_path = str(tmp_path / "summary.json")
+        assert main(["campaign", "run", "smoke-tiny",
+                     "--cache-dir", cache, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3/8 scenarios checkpointed" in out
+        assert main(["campaign", "status", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        assert "3/8 complete (5 pending)" in capsys.readouterr().out
+        assert main(["campaign", "run", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "smoke-tiny",
+                     "--cache-dir", cache,
+                     "--group-by", "protocol",
+                     "--output", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "8/8 scenarios summarized" in out
+        assert "softrate" in out and "rraa" in out
+        import json
+        summary = json.loads(open(out_path).read())
+        assert summary["completed"] == 8
+
+    def test_report_bad_group_by_fails_cleanly(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", "smoke-tiny",
+                     "--cache-dir", cache, "--limit", "1"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "smoke-tiny",
+                     "--cache-dir", cache,
+                     "--group-by", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
