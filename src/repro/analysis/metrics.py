@@ -7,12 +7,16 @@ time" (the omniscient choice from the trace).
 
 :func:`run_lengths` measures runs of consecutive events (Fig. 4's
 consecutive silent losses).
+
+:func:`per_hop_delivery` and :func:`handoff_disruption` are the mesh
+metrics: per-link frame delivery along a relay chain, and how long
+traffic stalls around an AP handoff.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,7 +24,8 @@ from repro.sim.mac import FrameLogEntry
 from repro.traces.format import LinkTrace
 
 __all__ = ["RateAccuracy", "rate_selection_accuracy", "run_lengths",
-           "ccdf", "settling_time", "frame_log_digest"]
+           "ccdf", "settling_time", "frame_log_digest",
+           "per_hop_delivery", "handoff_disruption"]
 
 
 @dataclass(frozen=True)
@@ -116,6 +121,54 @@ def frame_log_digest(frame_logs) -> int:
             h.update((f"{e.time!r},{e.src},{e.dest},{e.rate_index},"
                       f"{e.kind},{e.delivered},{e.retry}\n").encode())
     return int.from_bytes(h.digest()[:6], "big")
+
+
+def per_hop_delivery(frame_logs: Mapping[int, Sequence[FrameLogEntry]],
+                     hops: Sequence[Tuple[int, int]]) -> List[float]:
+    """Frame delivery fraction of each directed MAC hop.
+
+    For every ``(src, dest)`` pair in ``hops``, counts the source's
+    logged transmission attempts toward ``dest`` and the fraction that
+    delivered.  Retransmissions count as separate attempts, so this is
+    *link-layer* delivery — the per-hop quantity whose product bounds
+    end-to-end delivery along a relay chain.  Hops with no attempts
+    score NaN (a roaming client may never use a distant AP).
+    """
+    out = []
+    for src, dest in hops:
+        log = frame_logs.get(src, ())
+        attempts = [e for e in log if e.dest == dest]
+        if not attempts:
+            out.append(float("nan"))
+            continue
+        delivered = sum(1 for e in attempts if e.delivered)
+        out.append(delivered / len(attempts))
+    return out
+
+
+def handoff_disruption(delivery_times: Sequence[float],
+                       handoff_times: Sequence[float],
+                       duration: float) -> float:
+    """Mean seconds of end-to-end delivery stall around AP handoffs.
+
+    For each handoff, the disruption is the gap between the last
+    delivery at or before it (simulation start if none) and the first
+    delivery after it (``duration`` if traffic never resumes) — the
+    window in which the flow was dark while the client switched APs.
+    Returns NaN when no handoffs occurred, so campaigns can average
+    the metric over only the scenarios where roaming happened.
+    """
+    if not handoff_times:
+        return float("nan")
+    times = np.sort(np.asarray(delivery_times, dtype=np.float64))
+    gaps = []
+    for handoff in handoff_times:
+        before = times[times <= handoff]
+        after = times[times > handoff]
+        last = float(before[-1]) if before.size else 0.0
+        first = float(after[0]) if after.size else float(duration)
+        gaps.append(first - last)
+    return float(np.mean(gaps))
 
 
 def run_lengths(events: Iterable[bool]) -> List[int]:

@@ -11,9 +11,16 @@ at:
 * ``contention-scale`` — the production-scale sweep: >1000 scenarios
   pushing contention to 50 stations on the surrogate backend, the
   aggregate-throughput-bottleneck regime.
+* ``mesh-smoke`` / ``mesh-matrix`` — the mesh family over the
+  :mod:`repro.experiments.mesh` experiment: hop count x protocol x
+  shadowing spread x roaming speed across geometry-driven relay
+  chains (hidden terminals and handoffs emerge from positions, not
+  knobs).
 
-All three run the :mod:`repro.experiments.cell` experiment on the
-surrogate PHY backend; ``repro campaign list`` prints this registry.
+The ``cell``-based campaigns run the Fig. 12 star topology; the mesh
+campaigns run :class:`repro.sim.mesh.network.MeshNetwork`.  All use
+the surrogate PHY backend; ``repro campaign list`` prints this
+registry.
 """
 
 from __future__ import annotations
@@ -127,4 +134,35 @@ register_campaign(CampaignMatrix(
           "phy_backend": "surrogate"},
     replicates=6,
     seed=50,
+))
+
+register_campaign(CampaignMatrix(
+    name="mesh-smoke",
+    experiment="mesh",
+    description="8-scenario mesh CI smoke matrix (seconds, surrogate)",
+    axes=(
+        Axis("protocol", ("softrate", "rraa")),
+        Axis("shadowing_sigma_db", (0.0, 6.0)),
+        Axis("speed_mps", (0.0, 30.0)),
+    ),
+    base={"n_relays": 2, "duration": 0.04,
+          "phy_backend": "surrogate"},
+    seed=29,
+))
+
+register_campaign(CampaignMatrix(
+    name="mesh-matrix",
+    experiment="mesh",
+    description="hop count x protocol x shadowing x roaming speed "
+                "over relay chains (324 scenarios)",
+    axes=(
+        Axis("protocol", ("softrate", "samplerate", "rraa",
+                          "snr-untrained")),
+        Axis("n_relays", (2, 3, 4)),
+        Axis("shadowing_sigma_db", (0.0, 4.0, 8.0)),
+        Axis("speed_mps", (0.0, 15.0, 30.0)),
+    ),
+    base={"duration": 0.12, "phy_backend": "surrogate"},
+    replicates=3,
+    seed=77,
 ))

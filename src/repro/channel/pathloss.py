@@ -1,4 +1,25 @@
-"""Large-scale attenuation: the log-distance path loss model."""
+"""Large-scale attenuation: log-distance path loss with optional
+log-normal shadowing.
+
+The deterministic part is the classic log-distance model; the optional
+shadowing term models the slowly varying, position-dependent
+obstruction loss measured around the log-distance mean (Rappaport
+ch. 4): a zero-mean Gaussian in dB with standard deviation
+``shadowing_sigma_db``.  Shadowing is *off by default*
+(``shadowing_sigma_db=0``), in which case the model consumes no
+randomness and is bit-identical to the historical shadowing-free
+implementation — existing experiments and golden fixtures are
+unchanged.
+
+Shadowing draws are explicit: callers sample an offset once per
+link/position with :meth:`LogDistancePathLoss.sample_shadowing_db`
+(typically from a per-link RNG so the realisation is deterministic)
+and pass it back into :meth:`LogDistancePathLoss.loss_db` /
+:meth:`LogDistancePathLoss.mean_snr_db`.  Keeping the draw outside
+the loss computation preserves the purity of ``loss_db`` — the mesh
+simulator depends on it being a pure function for determinism across
+execution orders.
+"""
 
 from __future__ import annotations
 
@@ -8,34 +29,69 @@ __all__ = ["LogDistancePathLoss"]
 
 
 class LogDistancePathLoss:
-    """Log-distance path loss with configurable exponent.
+    """Log-distance path loss with configurable exponent and optional
+    log-normal shadowing.
 
-    ``loss_db(d) = loss_db(d0) + 10 * n * log10(d / d0)``
+    ``loss_db(d) = loss_db(d0) + 10 * n * log10(d / d0) + X``
+
+    where ``X`` is a caller-supplied shadowing offset (dB), normally a
+    draw from :meth:`sample_shadowing_db`.
 
     Args:
         exponent: path loss exponent ``n`` (2 = free space; 3-4 indoor).
         reference_loss_db: loss at the reference distance.
         reference_distance: the reference distance ``d0`` in metres.
+        shadowing_sigma_db: standard deviation of the log-normal
+            shadowing term in dB (0 disables shadowing — the default,
+            bit-identical to the shadowing-free model).
     """
 
     def __init__(self, exponent: float = 3.0,
                  reference_loss_db: float = 40.0,
-                 reference_distance: float = 1.0):
+                 reference_distance: float = 1.0,
+                 shadowing_sigma_db: float = 0.0):
         if exponent <= 0:
             raise ValueError("path loss exponent must be positive")
         if reference_distance <= 0:
             raise ValueError("reference distance must be positive")
+        if shadowing_sigma_db < 0:
+            raise ValueError("shadowing sigma must be >= 0")
         self.exponent = exponent
         self.reference_loss_db = reference_loss_db
         self.reference_distance = reference_distance
+        self.shadowing_sigma_db = shadowing_sigma_db
 
-    def loss_db(self, distance: float) -> float:
-        """Path loss in dB at ``distance`` metres."""
+    def sample_shadowing_db(self, rng: np.random.Generator) -> float:
+        """One log-normal shadowing draw in dB.
+
+        Returns ``0.0`` without consuming any randomness when
+        ``shadowing_sigma_db`` is 0, so enabling the feature cannot
+        perturb RNG streams of shadowing-free simulations.
+        """
+        if self.shadowing_sigma_db == 0.0:
+            return 0.0
+        return float(rng.normal(0.0, self.shadowing_sigma_db))
+
+    def loss_db(self, distance: float,
+                shadowing_db: float = 0.0) -> float:
+        """Path loss in dB at ``distance`` metres.
+
+        ``shadowing_db`` is an optional pre-sampled shadowing offset
+        (see :meth:`sample_shadowing_db`); the default 0 reproduces
+        the deterministic log-distance loss exactly.
+        """
         d = max(float(distance), self.reference_distance * 1e-3)
         return (self.reference_loss_db + 10.0 * self.exponent
-                * np.log10(d / self.reference_distance))
+                * np.log10(d / self.reference_distance)
+                + shadowing_db)
 
     def mean_snr_db(self, tx_power_dbm: float, noise_floor_dbm: float,
-                    distance: float) -> float:
-        """Mean received SNR for a given link budget."""
-        return tx_power_dbm - self.loss_db(distance) - noise_floor_dbm
+                    distance: float,
+                    shadowing_db: float = 0.0) -> float:
+        """Mean received SNR for a given link budget.
+
+        ``shadowing_db`` is folded into the loss (a positive offset
+        *reduces* SNR), matching :meth:`loss_db`.
+        """
+        return tx_power_dbm - self.loss_db(distance, shadowing_db) \
+            - noise_floor_dbm

@@ -24,6 +24,11 @@ Commands:
   reports progress, ``campaign report`` builds tidy summary tables.
 * ``calibrate`` — regenerate the surrogate PHY backend's calibration
   table from the full bit-exact pipeline.
+* ``bench`` — measure PHY and campaign-engine throughput and write
+  the committed ``BENCH_phy.json`` / ``BENCH_campaigns.json``
+  baselines; ``bench --check`` re-measures with each baseline's
+  embedded config and fails on >10% gate-ratio drops (the CI
+  regression gate).
 
 See ``docs/`` for the architecture and the figure-by-figure
 reproduction guide.
@@ -226,6 +231,19 @@ def _cmd_calibrate(args) -> int:
     print(f"wrote {args.output}: {table.n_rates} rates x "
           f"{table.snr_grid_db.size} SNR points "
           f"(estimator noise {table.est_noise_decades:.2f} decades)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import check_benchmarks, write_benchmarks
+
+    if args.tolerance < 0:
+        raise SystemExit("error: --tolerance must be >= 0")
+    if args.check:
+        return check_benchmarks(output_dir=args.output_dir,
+                                only=args.only,
+                                tolerance=args.tolerance)
+    write_benchmarks(output_dir=args.output_dir, only=args.only)
     return 0
 
 
@@ -494,6 +512,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="grid end in dB (default 26)")
     p.add_argument("--snr-step", type=float, default=1.0)
 
+    p = sub.add_parser(
+        "bench",
+        help="measure throughput baselines (BENCH_*.json) or check "
+             "them for regressions")
+    p.add_argument("--check", action="store_true",
+                   help="re-measure with each committed baseline's "
+                        "embedded config and fail on gate-metric "
+                        "drops instead of rewriting the files")
+    p.add_argument("--only", choices=["phy", "campaigns"],
+                   default=None, help="restrict to one suite")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="allowed one-sided gate-metric drop "
+                        "(default 0.10 = 10%%)")
+    p.add_argument("--output-dir", default=".",
+                   help="where the BENCH_*.json files live "
+                        "(default: current directory)")
+
     sub.add_parser("list", help="enumerate registered experiments")
 
     p = sub.add_parser("run", help="run a registered experiment")
@@ -547,6 +582,7 @@ _HANDLERS = {
     "thresholds": _cmd_thresholds,
     "simulate": _cmd_simulate,
     "calibrate": _cmd_calibrate,
+    "bench": _cmd_bench,
     "list": _cmd_list,
     "run": _cmd_run,
     "sweep": _cmd_sweep,

@@ -59,7 +59,7 @@ _EXPERIMENT_MODULES = (
     "cell", "fig01_channel", "fig03_hints", "fig05_crossrate",
     "fig07_static", "fig08_mobile", "fig10_interference",
     "fig13_slow_fading", "fig15_convergence", "fig16_fast_fading",
-    "fig17_interference", "tab01_silent", "tab02_rates",
+    "fig17_interference", "mesh", "tab01_silent", "tab02_rates",
 )
 
 

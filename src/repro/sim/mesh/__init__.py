@@ -1,0 +1,47 @@
+"""Multi-hop mesh and roaming simulation layer.
+
+Where :mod:`repro.sim.topology` models a single-AP star driven by
+per-link traces, this package models a *spatial* network: nodes live
+at 2-D positions, large-scale attenuation comes from
+:class:`repro.channel.pathloss.LogDistancePathLoss` (log-distance
+plus optional log-normal shadowing), small-scale fading from per-link
+:class:`repro.channel.rayleigh.RayleighFadingProcess` realisations,
+and frame fates are computed per transmission by a pluggable
+:class:`repro.phy.backend.PhyBackend` from the geometry-derived SNR
+trajectory — no traces, and no hand-set ``carrier_sense_prob``:
+carrier sense, hidden terminals, and capture all emerge from received
+power.
+
+Layers:
+
+* :mod:`repro.sim.mesh.geometry` — node positions over time
+  (static relays, straight-line mobile clients).
+* :mod:`repro.sim.mesh.radio` — :class:`MeshChannel`, a drop-in
+  channel for the existing :class:`repro.sim.mac.Station` MAC with
+  per-node receive buffers and SNR/timing collision checks.
+* :mod:`repro.sim.mesh.forwarding` — TTL-bounded store-and-forward
+  relaying (:class:`MeshPacket` / :class:`MeshNode`) with duplicate
+  suppression; SoftPHY hints and rate adapters operate independently
+  per hop because every relay hop is an ordinary MAC exchange.
+* :mod:`repro.sim.mesh.network` — :class:`MeshNetwork`, the standard
+  scenario family: a relay chain plus a roaming client that hands off
+  between APs by received-power hysteresis.
+
+Entry points::
+
+    from repro.sim.mesh import MeshNetwork
+
+    result = MeshNetwork(n_relays=3, client_speed_mps=30.0,
+                         shadowing_sigma_db=4.0).run(0.2)
+    result.delivery_rate, result.handoff_times
+"""
+
+from repro.sim.mesh.forwarding import MeshNode, MeshPacket
+from repro.sim.mesh.geometry import LinearPath, MeshGeometry
+from repro.sim.mesh.network import (CLIENT_ID, MeshNetwork, MeshResult,
+                                    run_mesh_scenario)
+from repro.sim.mesh.radio import MeshChannel, RxBufferEntry
+
+__all__ = ["MeshGeometry", "LinearPath", "MeshChannel",
+           "RxBufferEntry", "MeshPacket", "MeshNode", "MeshNetwork",
+           "MeshResult", "run_mesh_scenario", "CLIENT_ID"]

@@ -1,0 +1,156 @@
+"""TTL-bounded store-and-forward relaying over the CSMA/CA MAC.
+
+A :class:`MeshNode` wraps one :class:`repro.sim.mac.Station` and adds
+the network layer: packets (:class:`MeshPacket`) carry an origin, a
+final destination, a per-origin sequence number, and a TTL; each relay
+re-queues the packet to its next hop as an ordinary MAC frame.  That
+means *every* relay hop is a full MAC exchange — contention, SoftPHY
+feedback, retries — and the sending station's per-peer rate adapter
+(:meth:`repro.sim.mac.Station.adapter`) adapts to that hop's channel
+independently of every other hop, which is the property the mesh
+experiments measure.
+
+Two invariants the property-based tests pin:
+
+* **TTL bound** — a delivered packet has crossed at most
+  ``initial_ttl`` MAC hops (the TTL is decremented at every receive
+  and packets arriving with no budget left are dropped).
+* **No duplicate delivery** — every node keeps an ``(origin, seq)``
+  seen-set, so a packet that loops (or is re-forwarded) is dropped the
+  second time it reaches any node, and the final destination delivers
+  each packet at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.rateadapt.base import RateAdapter
+from repro.sim.eventsim import Simulator
+from repro.sim.mac import MacConfig, MacFrame, Station
+
+__all__ = ["MeshPacket", "MeshNode"]
+
+
+@dataclass(frozen=True)
+class MeshPacket:
+    """One network-layer packet riding inside MAC frame payloads.
+
+    Attributes:
+        origin: node that originated the packet.
+        final_dest: node the packet is ultimately for.
+        seq: per-origin sequence number (monotonic, never wraps —
+            unlike the MAC's 12-bit seq — so ``(origin, seq)`` is a
+            globally unique packet identity for duplicate suppression).
+        ttl: remaining MAC hops the packet may still cross when handed
+            to a station's queue.
+        initial_ttl: the TTL it was originated with (the hop bound).
+        hops: MAC hops crossed so far.
+    """
+
+    origin: int
+    final_dest: int
+    seq: int
+    ttl: int
+    initial_ttl: int
+    hops: int = 0
+
+
+class MeshNode:
+    """A mesh station: MAC entity plus TTL/duplicate forwarding logic.
+
+    Args:
+        sim: event engine.
+        channel: the shared :class:`~repro.sim.mesh.radio.MeshChannel`.
+        node_id: unique id (also the geometry node id).
+        rng: backoff randomness for the underlying station.
+        adapter_factory: ``(peer) -> RateAdapter``; one adapter per
+            next-hop peer, so each hop rate-adapts independently.
+        airtime_fn: ``(payload_bits, rate_index) -> seconds``.
+        route: ``(this_node, final_dest) -> next_hop`` — evaluated at
+            forward time, so routes may change as a client roams.
+        config: MAC parameters.
+        on_deliver: optional callback ``(time, packet)`` fired when a
+            packet reaches its final destination here.
+        on_queue_drain: optional callback when the MAC queue has room
+            again (saturated sources refill from it).
+    """
+
+    def __init__(self, sim: Simulator, channel, node_id: int,
+                 rng: np.random.Generator,
+                 adapter_factory: Callable[[int], RateAdapter],
+                 airtime_fn: Callable[[int, int], float],
+                 route: Callable[[int, int], int],
+                 config: MacConfig = MacConfig(),
+                 on_deliver: Optional[Callable] = None,
+                 on_queue_drain: Optional[Callable[[], None]] = None):
+        self.sim = sim
+        self.id = node_id
+        self._route = route
+        self._on_deliver = on_deliver
+        self.station = Station(
+            sim, channel, node_id, rng,
+            adapter_factory=adapter_factory, airtime_fn=airtime_fn,
+            config=config, on_deliver=self._receive,
+            on_queue_drain=on_queue_drain)
+        self._seen: Set[Tuple[int, int]] = set()
+        self._origin_seq = 0
+        self.originated = 0
+        #: ``(delivery_time, hops)`` per packet delivered *to* this node.
+        self.delivered: List[Tuple[float, int]] = []
+        self.ttl_drops = 0
+        self.duplicate_drops = 0
+        self.forward_queue_drops = 0
+
+    # -- sending ------------------------------------------------------------
+
+    def originate(self, final_dest: int, payload_bits: int,
+                  ttl: int) -> bool:
+        """Create a packet for ``final_dest`` and queue it to the MAC.
+
+        Returns False when the MAC queue is full (the packet is not
+        created and no sequence number is consumed).
+        """
+        if ttl < 1:
+            raise ValueError("ttl must be at least 1")
+        next_hop = self._route(self.id, final_dest)
+        packet = MeshPacket(origin=self.id, final_dest=final_dest,
+                            seq=self._origin_seq, ttl=ttl,
+                            initial_ttl=ttl)
+        if not self.station.send(next_hop, packet, payload_bits):
+            return False
+        self._origin_seq += 1
+        self.originated += 1
+        # Mark our own packets as seen: a routing loop that brings one
+        # back here must kill it, not re-forward it.
+        self._seen.add((packet.origin, packet.seq))
+        return True
+
+    # -- receiving ----------------------------------------------------------
+
+    def _receive(self, frame: MacFrame) -> None:
+        """A MAC frame crossed its hop to us: deliver or forward."""
+        packet = frame.payload
+        if not isinstance(packet, MeshPacket):
+            return
+        key = (packet.origin, packet.seq)
+        if key in self._seen:
+            self.duplicate_drops += 1
+            return
+        self._seen.add(key)
+        arrived = replace(packet, ttl=packet.ttl - 1,
+                          hops=packet.hops + 1)
+        if arrived.final_dest == self.id:
+            self.delivered.append((self.sim.now, arrived.hops))
+            if self._on_deliver is not None:
+                self._on_deliver(self.sim.now, arrived)
+            return
+        if arrived.ttl < 1:
+            self.ttl_drops += 1
+            return
+        next_hop = self._route(self.id, arrived.final_dest)
+        if not self.station.send(next_hop, arrived, frame.payload_bits):
+            self.forward_queue_drops += 1

@@ -1,0 +1,99 @@
+"""2-D node geometry: positions over time and pairwise distances.
+
+A :class:`MeshGeometry` maps node ids to positions; a position is
+either a fixed ``(x, y)`` tuple (relays, APs) or a callable
+``t -> (x, y)`` (mobile clients).  Everything downstream — path loss,
+carrier sense, capture, handoff — derives from
+:meth:`MeshGeometry.distance` evaluated at transmission time, so the
+geometry is the single source of spatial truth.
+
+Positions are pure functions of time (no internal state, no RNG), a
+property the mesh determinism wall depends on: two simulations that
+evaluate positions in different event orders still see identical
+coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple, Union
+
+__all__ = ["MeshGeometry", "LinearPath"]
+
+Position = Tuple[float, float]
+PositionFn = Callable[[float], Position]
+
+
+@dataclass(frozen=True)
+class LinearPath:
+    """A straight-line constant-velocity path with a travel clamp.
+
+    The node starts at ``start`` and moves with ``velocity`` (m/s per
+    axis) until it has covered ``max_travel_m`` metres, then stays
+    put — a roaming client that walks the length of a relay chain and
+    stops at the far end.
+
+    Example::
+
+        path = LinearPath(start=(0.0, 4.0), velocity=(30.0, 0.0),
+                          max_travel_m=18.0)
+        path(0.0)     # (0.0, 4.0)
+        path(10.0)    # (18.0, 4.0) — clamped after 0.6 s
+    """
+
+    start: Position
+    velocity: Position
+    max_travel_m: float = math.inf
+
+    def __call__(self, t: float) -> Position:
+        """Position at time ``t`` (seconds, clamped to the travel cap)."""
+        speed = math.hypot(*self.velocity)
+        if speed > 0.0 and math.isfinite(self.max_travel_m):
+            t = min(t, max(self.max_travel_m, 0.0) / speed)
+        return (self.start[0] + self.velocity[0] * t,
+                self.start[1] + self.velocity[1] * t)
+
+
+class MeshGeometry:
+    """Node positions over time.
+
+    Args:
+        nodes: map from node id to either a fixed ``(x, y)`` position
+            or a callable ``t -> (x, y)`` (e.g. :class:`LinearPath`).
+
+    Example::
+
+        geo = MeshGeometry({0: LinearPath((0, 4), (2, 0)),
+                            1: (0.0, 0.0), 2: (9.0, 0.0)})
+        geo.distance(0, 2, t=1.0)
+    """
+
+    def __init__(self, nodes: Mapping[int, Union[Position, PositionFn]]):
+        if not nodes:
+            raise ValueError("geometry needs at least one node")
+        self._nodes: Dict[int, PositionFn] = {}
+        for node_id, spec in nodes.items():
+            if callable(spec):
+                self._nodes[int(node_id)] = spec
+            else:
+                x, y = float(spec[0]), float(spec[1])
+                self._nodes[int(node_id)] = \
+                    (lambda t, x=x, y=y: (x, y))
+
+    def node_ids(self) -> List[int]:
+        """Sorted node ids."""
+        return sorted(self._nodes)
+
+    def position(self, node: int, t: float) -> Position:
+        """Node position ``(x, y)`` in metres at time ``t``."""
+        try:
+            return self._nodes[node](t)
+        except KeyError:
+            raise KeyError(f"unknown node {node}") from None
+
+    def distance(self, a: int, b: int, t: float) -> float:
+        """Euclidean distance between nodes ``a`` and ``b`` at ``t``."""
+        xa, ya = self.position(a, t)
+        xb, yb = self.position(b, t)
+        return math.hypot(xa - xb, ya - yb)

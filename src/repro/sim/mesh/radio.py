@@ -1,0 +1,427 @@
+"""The geometry-driven wireless channel of the mesh simulator.
+
+:class:`MeshChannel` implements the exact channel contract
+:class:`repro.sim.mac.Station` consumes (``stations``,
+``medium_busy_until``, ``begin_transmission``,
+``conclude_transmission``) so the whole CSMA/CA MAC — DIFS, binary
+exponential backoff, retries, per-peer rate adapters, SoftPHY
+feedback — is reused unchanged over a *spatial* channel model:
+
+* **Large scale** — log-distance path loss plus a static per-link
+  log-normal shadowing draw
+  (:class:`repro.channel.pathloss.LogDistancePathLoss`), evaluated
+  from :class:`~repro.sim.mesh.geometry.MeshGeometry` distances at
+  transmission time.
+* **Small scale** — one Rayleigh fading realisation per (unordered)
+  node pair; :class:`repro.channel.rayleigh.RayleighFadingProcess` is
+  a pure function of time, so gains are identical regardless of MAC
+  event order (the mesh determinism wall).
+* **Frame fates** — computed per transmission by a pluggable
+  :class:`repro.phy.backend.PhyBackend` ("full" bit-exact or the
+  calibrated "surrogate") from the link's instantaneous SNR
+  trajectory across the frame's airtime.
+
+Carrier sense and collisions are *emergent*: a listener senses a
+transmitter iff the mean received SNR clears ``cs_threshold_snr_db``
+(hidden terminals are nodes out of carrier-sense range of each other
+but both audible at a middle receiver), every node keeps a receive
+buffer of the transmissions audible at it, and a concluding frame is
+checked against that buffer for temporal overlap with an SNR capture
+test — a much stronger interferer does not destroy the frame.  The
+surviving overlap cases follow the paper's section 3.2 taxonomy
+exactly as :class:`repro.sim.wireless.WirelessChannel` does:
+*collided* (receiver locked onto us; SoftPHY flags it with
+probability ``detect_prob``), *postamble* (preamble lost, postamble
+clean), or *silent*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.channel.rayleigh import RayleighFadingProcess
+from repro.core.feedback import Feedback
+from repro.phy.backend import DETECTION_SNR_DB, get_backend
+from repro.phy.rates import RATE_TABLE, RateTable
+from repro.sim.mesh.geometry import MeshGeometry
+from repro.sim.wireless import COLLISION_BER, FrameFate, Transmission
+from repro.traces.format import FrameObservation
+
+__all__ = ["MeshChannel", "RxBufferEntry"]
+
+#: Trajectory samples per frame (mirrors the trace-driven observe
+#: path's ``_OBSERVE_SNR_SAMPLES``: a frame spans well under one
+#: coherence time at the Doppler spreads we simulate, so a handful of
+#: samples captures the fade structure).
+_SNR_SAMPLES = 8
+
+#: Floor on instantaneous linear SNR before converting to dB, so deep
+#: Rayleigh fades produce a very negative finite value, never -inf.
+_SNR_LINEAR_FLOOR = 1e-12
+
+#: Seed-derivation domain tags keeping the shadowing and fading RNG
+#: streams of one link disjoint.
+_SHADOW_TAG = 0x5AD0
+_FADING_TAG = 0xFAD0
+
+
+@dataclass
+class RxBufferEntry:
+    """One transmission audible at a node, with its received SNR.
+
+    ``rx_snr_db`` is the mean (fading-free) SNR of the transmitter at
+    this node when the transmission started — the power term of the
+    buffer's SNR/timing collision checks.
+    """
+
+    tx: Transmission
+    rx_snr_db: float
+
+
+class MeshChannel:
+    """A spatial collision domain driven by geometry and a PHY backend.
+
+    Args:
+        geometry: node positions over time.
+        rng: random source (interference-detection coins, PHY outcome
+            draws).  Per-link shadowing and fading use their own
+            seed-derived generators so realisations are independent of
+            MAC event order.
+        phy_backend: backend instance or name (``"full"`` /
+            ``"surrogate"``); a name is resolved against this
+            channel's rate table.
+        rates: rate table (the paper's six prototype rates by default).
+        pathloss: large-scale model; its ``shadowing_sigma_db``
+            controls the per-link log-normal shadowing (0 = off).
+        tx_power_dbm / noise_floor_dbm: link budget (defaults match
+            :class:`repro.channel.mobility.WalkingTrajectory`).
+        link_seed: root seed of the per-link shadowing and fading
+            realisations.
+        doppler_hz: Doppler spread of every link's Rayleigh process.
+        detect_prob: SoftPHY interference-detection probability for
+            collided frames (paper section 6.4).
+        use_postambles: enable postamble detection (section 3.2).
+        cs_threshold_snr_db: mean received SNR (dB) above which a
+            listener carrier-senses a transmitter.  Nodes below the
+            threshold are mutually hidden — the hidden-terminal knob
+            is geometry, not a probability.
+        capture_margin_db: SINR margin for physical-layer capture: a
+            frame whose received power exceeds the summed overlapping
+            interference by at least this margin survives the overlap.
+        rx_floor_snr_db: mean received SNR below which a transmission
+            does not enter a node's receive buffer at all (negligible
+            as interference and undetectable as signal).
+
+    Example::
+
+        geo = MeshGeometry({0: (0, 4), 1: (0, 0), 2: (9, 0)})
+        channel = MeshChannel(geo, np.random.default_rng(1),
+                              phy_backend="surrogate")
+    """
+
+    def __init__(self, geometry: MeshGeometry,
+                 rng: np.random.Generator,
+                 phy_backend="surrogate",
+                 rates: Optional[RateTable] = None,
+                 pathloss: Optional[LogDistancePathLoss] = None,
+                 tx_power_dbm: float = -5.0,
+                 noise_floor_dbm: float = -85.0,
+                 link_seed: int = 0,
+                 doppler_hz: float = 10.0,
+                 detect_prob: float = 0.8,
+                 use_postambles: bool = True,
+                 cs_threshold_snr_db: float = 3.0,
+                 capture_margin_db: float = 10.0,
+                 rx_floor_snr_db: float = DETECTION_SNR_DB - 3.0):
+        if not 0.0 <= detect_prob <= 1.0:
+            raise ValueError("detect_prob must be a probability")
+        if doppler_hz <= 0:
+            raise ValueError("doppler_hz must be positive")
+        self.geometry = geometry
+        self.rng = rng
+        self.rates = rates if rates is not None \
+            else RATE_TABLE.prototype_subset()
+        self.phy = get_backend(phy_backend, rates=self.rates)
+        self.pathloss = pathloss if pathloss is not None \
+            else LogDistancePathLoss()
+        self.tx_power_dbm = tx_power_dbm
+        self.noise_floor_dbm = noise_floor_dbm
+        self.link_seed = int(link_seed)
+        self.doppler_hz = doppler_hz
+        self.detect_prob = detect_prob
+        self.use_postambles = use_postambles
+        self.cs_threshold_snr_db = cs_threshold_snr_db
+        self.capture_margin_db = capture_margin_db
+        self.rx_floor_snr_db = rx_floor_snr_db
+        #: station registry (filled by Station.__init__).
+        self.stations: Dict[int, Any] = {}
+        self._active: List[Transmission] = []
+        self._history: List[Transmission] = []
+        #: per-node receive buffers: transmissions audible at the node.
+        self._rx_buffers: Dict[int, List[RxBufferEntry]] = {}
+        self._shadow: Dict[Tuple[int, int], float] = {}
+        self._fading: Dict[Tuple[int, int], RayleighFadingProcess] = {}
+        self.stats = {"clean": 0, "collided": 0, "postamble": 0,
+                      "silent": 0, "undetected_collisions": 0,
+                      "captured": 0}
+
+    # -- link model ---------------------------------------------------------
+
+    def _link_key(self, a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def shadowing_db(self, a: int, b: int) -> float:
+        """The static shadowing offset of the (unordered) link a-b.
+
+        Drawn once per link from a generator seeded by
+        ``(link_seed, tag, a, b)`` — reciprocal (the same obstruction
+        attenuates both directions) and independent of when or in
+        what order links are first used.
+        """
+        key = self._link_key(a, b)
+        if key not in self._shadow:
+            link_rng = np.random.default_rng(
+                (self.link_seed, _SHADOW_TAG) + key)
+            self._shadow[key] = \
+                self.pathloss.sample_shadowing_db(link_rng)
+        return self._shadow[key]
+
+    def _fading_for(self, a: int, b: int) -> RayleighFadingProcess:
+        """The link's Rayleigh realisation (reciprocal, lazily built)."""
+        key = self._link_key(a, b)
+        if key not in self._fading:
+            link_rng = np.random.default_rng(
+                (self.link_seed, _FADING_TAG) + key)
+            self._fading[key] = RayleighFadingProcess(
+                self.doppler_hz, link_rng)
+        return self._fading[key]
+
+    def mean_snr_db(self, src: int, dest: int, t: float) -> float:
+        """Mean (fading-averaged) received SNR of ``src`` at ``dest``.
+
+        Link budget through the path loss model at the nodes' current
+        distance, including the link's static shadowing draw.  This is
+        the quantity carrier sense, capture, and handoff decisions
+        read — fading is deliberately excluded, matching how receivers
+        average RSSI over many frames.
+        """
+        distance = self.geometry.distance(src, dest, t)
+        return self.pathloss.mean_snr_db(
+            self.tx_power_dbm, self.noise_floor_dbm, distance,
+            shadowing_db=self.shadowing_db(src, dest))
+
+    def snr_trajectory(self, src: int, dest: int, start: float,
+                       end: float) -> np.ndarray:
+        """Instantaneous SNR (dB) across a frame's airtime.
+
+        Samples the mean SNR (geometry + shadowing, tracking any node
+        motion during the frame) and multiplies in the link's Rayleigh
+        gain, which is a pure function of time.
+        """
+        times = np.linspace(start, max(end, start), _SNR_SAMPLES)
+        mean_db = np.array([self.mean_snr_db(src, dest, t)
+                            for t in times])
+        gains = self._fading_for(src, dest).gains(times)
+        power = np.maximum(np.abs(gains) ** 2, _SNR_LINEAR_FLOOR)
+        return mean_db + 10.0 * np.log10(power)
+
+    # -- carrier sense ------------------------------------------------------
+
+    def _senses(self, listener: int, tx: Transmission) -> bool:
+        """Whether ``listener`` carrier-senses this transmission.
+
+        Deterministic in geometry: the mean received SNR at the
+        transmission's start must clear the sensing threshold.  Cached
+        per (transmission, listener) so the decision is sticky for the
+        transmission's lifetime.
+        """
+        if tx.frame.src == listener:
+            return True
+        if listener not in tx.sensed_by:
+            tx.sensed_by[listener] = bool(
+                self.mean_snr_db(tx.frame.src, listener, tx.start)
+                >= self.cs_threshold_snr_db)
+        return tx.sensed_by[listener]
+
+    def medium_busy_until(self, listener: int, now: float
+                          ) -> Optional[float]:
+        """Latest end time of transmissions ``listener`` senses.
+
+        Returns ``None`` when the medium appears idle to ``listener``
+        — which it can while a *hidden* node is transmitting.
+        """
+        self._prune(now)
+        busy_until = None
+        for tx in self._active:
+            if tx.end <= now:
+                continue
+            if self._senses(listener, tx):
+                busy_until = tx.end if busy_until is None else max(
+                    busy_until, tx.end)
+        return busy_until
+
+    # -- transmission -------------------------------------------------------
+
+    def begin_transmission(self, tx: Transmission) -> None:
+        """Register an in-flight frame and fan it into receive buffers.
+
+        Every node whose mean received SNR clears ``rx_floor_snr_db``
+        gets an entry (with that SNR) appended to its buffer — the
+        per-node record the SNR/timing collision checks run against
+        when overlapping frames conclude.
+        """
+        self._active.append(tx)
+        self._history.append(tx)
+        src = tx.frame.src
+        for node in self.geometry.node_ids():
+            if node == src:
+                continue
+            rx_snr = self.mean_snr_db(src, node, tx.start)
+            if rx_snr >= self.rx_floor_snr_db:
+                self._rx_buffers.setdefault(node, []).append(
+                    RxBufferEntry(tx=tx, rx_snr_db=rx_snr))
+
+    def _prune(self, now: float, horizon: float = 0.1) -> None:
+        self._active = [t for t in self._active if t.end > now]
+        if len(self._history) > 4096:
+            self._history = [t for t in self._history
+                             if t.end > now - horizon]
+            for node, buffer in self._rx_buffers.items():
+                self._rx_buffers[node] = [
+                    e for e in buffer if e.tx.end > now - horizon]
+
+    def _interferers(self, tx: Transmission) -> List[RxBufferEntry]:
+        """Receive-buffer entries at the destination overlapping ``tx``.
+
+        Feedback frames are excluded (they occupy the reserved
+        post-SIFS slot, as in the star-topology model), as are other
+        transmissions by our own source.
+        """
+        buffer = self._rx_buffers.get(tx.frame.dest, ())
+        out = []
+        for entry in buffer:
+            other = entry.tx
+            if other is tx or other.frame.is_feedback:
+                continue
+            if other.frame.src == tx.frame.src:
+                continue
+            if other.start < tx.end and tx.start < other.end:
+                out.append(entry)
+        return out
+
+    def _receiver_deaf(self, tx: Transmission) -> bool:
+        """Half-duplex: the destination was itself transmitting."""
+        for other in self._history:
+            if other is tx or other.frame.src != tx.frame.dest:
+                continue
+            if other.start < tx.end and tx.start < other.end:
+                return True
+        return False
+
+    def _observe(self, tx: Transmission) -> FrameObservation:
+        """Clean-channel observation from the geometry-derived SNR
+        trajectory, through the configured PHY backend."""
+        trajectory = self.snr_trajectory(tx.frame.src, tx.frame.dest,
+                                         tx.start, tx.end)
+        out = self.phy.frame_outcome(tx.rate_index, trajectory,
+                                     tx.frame.payload_bits, self.rng,
+                                     need_hints=False)
+        return FrameObservation(
+            detected=out.detected,
+            delivered=out.detected and out.delivered,
+            ber_true=out.ber_true, ber_est=out.ber_est,
+            snr_db=out.snr_db, slot=0)
+
+    def _captures(self, tx: Transmission,
+                  interferers: List[RxBufferEntry]) -> bool:
+        """SNR collision check: does ``tx`` capture the receiver?
+
+        Compares the frame's mean received power against the linear
+        sum of all overlapping interferers' received powers; a margin
+        of ``capture_margin_db`` or more means the receiver tracks the
+        strong frame through the overlap.
+        """
+        our_db = self.mean_snr_db(tx.frame.src, tx.frame.dest,
+                                  tx.start)
+        interference = sum(10.0 ** (e.rx_snr_db / 10.0)
+                           for e in interferers)
+        if interference <= 0.0:
+            return True
+        sinr_db = our_db - 10.0 * np.log10(interference)
+        return bool(sinr_db >= self.capture_margin_db)
+
+    def conclude_transmission(self, tx: Transmission) -> FrameFate:
+        """Compute the fate of ``tx`` (called by the MAC at t=end).
+
+        Order of checks: half-duplex deafness, PHY detection, capture
+        over any overlap, then the section 3.2 overlap taxonomy
+        (collided / postamble / silent) — identical semantics to the
+        trace-driven channel, with the overlap set coming from the
+        destination's receive buffer instead of global history.
+        """
+        if self._receiver_deaf(tx):
+            self.stats["silent"] += 1
+            return FrameFate(kind="silent", delivered=False,
+                             feedback=None, observation=None)
+        obs = self._observe(tx)
+        if not obs.detected:
+            self.stats["silent"] += 1
+            return FrameFate(kind="silent", delivered=False,
+                             feedback=None, observation=obs)
+        interferers = self._interferers(tx)
+        if tx.rts_protected:
+            interferers = []        # the exchange reserved the medium
+        if interferers and self._captures(tx, interferers):
+            self.stats["captured"] += 1
+            interferers = []
+        if not interferers:
+            self.stats["clean"] += 1
+            feedback = Feedback(src=tx.frame.dest, dest=tx.frame.src,
+                                seq=tx.frame.seq, ber=obs.ber_est,
+                                frame_ok=obs.delivered,
+                                snr_db=obs.snr_db)
+            return FrameFate(kind="clean", delivered=obs.delivered,
+                             feedback=feedback, observation=obs)
+
+        locked_to_us = all(tx.start <= e.tx.start for e in interferers)
+        if locked_to_us:
+            # Receiver synchronised to us; an interferer corrupts our
+            # body.  Frame lost, but the header decoded, so feedback
+            # flows — flagged as interference with ``detect_prob``.
+            self.stats["collided"] += 1
+            detected = bool(self.rng.random() < self.detect_prob)
+            if detected:
+                ber = obs.ber_est       # interference-free portion
+            else:
+                ber = COLLISION_BER     # looks like a channel loss
+                self.stats["undetected_collisions"] += 1
+            feedback = Feedback(src=tx.frame.dest, dest=tx.frame.src,
+                                seq=tx.frame.seq, ber=ber,
+                                frame_ok=False,
+                                interference_detected=detected,
+                                snr_db=obs.snr_db)
+            return FrameFate(kind="collided", delivered=False,
+                             feedback=feedback, observation=obs,
+                             interference_detected=detected)
+
+        # Receiver locked elsewhere: our preamble is gone.
+        postamble_clean = self.use_postambles and not any(
+            e.tx.start < tx.end and tx.postamble_start < e.tx.end
+            for e in interferers)
+        if postamble_clean:
+            self.stats["postamble"] += 1
+            feedback = Feedback(src=tx.frame.dest, dest=tx.frame.src,
+                                seq=tx.frame.seq, ber=obs.ber_est,
+                                frame_ok=False,
+                                interference_detected=True,
+                                snr_db=obs.snr_db, postamble_only=True)
+            return FrameFate(kind="postamble", delivered=False,
+                             feedback=feedback, observation=obs,
+                             interference_detected=True)
+        self.stats["silent"] += 1
+        return FrameFate(kind="silent", delivered=False, feedback=None,
+                         observation=obs)

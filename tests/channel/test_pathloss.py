@@ -1,5 +1,7 @@
-"""Tests for the log-distance path loss model."""
+"""Tests for the log-distance path loss model and its optional
+log-normal shadowing term."""
 
+import numpy as np
 import pytest
 
 from repro.channel.pathloss import LogDistancePathLoss
@@ -32,3 +34,48 @@ class TestLogDistance:
             LogDistancePathLoss(exponent=0.0)
         with pytest.raises(ValueError):
             LogDistancePathLoss(reference_distance=0.0)
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(shadowing_sigma_db=-1.0)
+
+
+class TestShadowing:
+    def test_default_off_is_bit_identical(self):
+        """sigma=0 (the default) must reproduce the historical model
+        exactly — the property the golden fixtures rely on."""
+        plain = LogDistancePathLoss()
+        explicit = LogDistancePathLoss(shadowing_sigma_db=0.0)
+        for d in (0.5, 1.0, 3.7, 10.0, 25.0, 100.0):
+            assert plain.loss_db(d) == explicit.loss_db(d)
+            assert plain.loss_db(d) == plain.loss_db(d, 0.0)
+            assert plain.mean_snr_db(-5.0, -85.0, d) == \
+                plain.mean_snr_db(-5.0, -85.0, d, 0.0)
+
+    def test_sigma_zero_consumes_no_randomness(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=0.0)
+        rng = np.random.default_rng(7)
+        assert model.sample_shadowing_db(rng) == 0.0
+        # The generator state is untouched: the next draw matches a
+        # fresh generator with the same seed.
+        assert rng.normal() == np.random.default_rng(7).normal()
+
+    def test_offset_shifts_loss_and_snr(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0)
+        base = model.loss_db(10.0)
+        assert model.loss_db(10.0, 4.5) == pytest.approx(base + 4.5)
+        assert model.mean_snr_db(-5.0, -85.0, 10.0, 4.5) == \
+            pytest.approx(model.mean_snr_db(-5.0, -85.0, 10.0) - 4.5)
+
+    def test_draws_match_sigma(self):
+        sigma = 8.0
+        model = LogDistancePathLoss(shadowing_sigma_db=sigma)
+        rng = np.random.default_rng(2009)
+        draws = np.array([model.sample_shadowing_db(rng)
+                          for _ in range(4000)])
+        assert abs(draws.mean()) < 0.5
+        assert draws.std() == pytest.approx(sigma, rel=0.1)
+
+    def test_draws_deterministic_per_seed(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=4.0)
+        a = model.sample_shadowing_db(np.random.default_rng(11))
+        b = model.sample_shadowing_db(np.random.default_rng(11))
+        assert a == b and a != 0.0

@@ -11,10 +11,10 @@ from repro.experiments.api import (ExperimentResult, Runner, Scenario,
                                    list_experiments, load_all, run)
 
 #: One registration per experiment module (and nothing else): the
-#: figXX/tabXX reproductions plus the campaign matrix cell.
+#: figXX/tabXX reproductions plus the campaign matrix cells.
 EXPECTED = {"cell", "fig01", "fig03", "fig05", "fig07", "fig08",
-            "fig10", "fig13", "fig15", "fig16", "fig17", "tab01",
-            "tab02"}
+            "fig10", "fig13", "fig15", "fig16", "fig17", "mesh",
+            "tab01", "tab02"}
 
 
 class TestRegistry:

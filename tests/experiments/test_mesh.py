@@ -1,0 +1,90 @@
+"""Tests for the mesh campaign cell experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments.api import get_experiment, run
+from repro.experiments.mesh import MESH_PROTOCOLS, run_mesh
+
+_FAST = dict(duration=0.03)
+
+
+def _norm(metrics):
+    """NaN-tolerant comparison form (NaN == NaN when comparing)."""
+    return {k: None if isinstance(v, float) and math.isnan(v) else v
+            for k, v in metrics.items()}
+
+
+class TestMeshMetrics:
+    def test_returns_complete_metric_dict(self):
+        metrics = run_mesh(**_FAST)
+        for key in ("mbps", "delivery_rate", "mean_hops", "loss_rate",
+                    "retry_rate", "access_delivery",
+                    "mean_hop_delivery", "min_hop_delivery",
+                    "handoff_count", "handoff_disruption_s",
+                    "ttl_drops", "duplicate_drops", "n_frames",
+                    "frame_log_digest"):
+            assert key in metrics
+        assert metrics["mbps"] > 0.0
+        assert 0.0 < metrics["delivery_rate"] <= 1.0
+        assert metrics["n_frames"] > 0
+        # The digest must survive a float round-trip exactly (48-bit).
+        digest = metrics["frame_log_digest"]
+        assert float(int(digest)) == digest
+
+    def test_deterministic(self):
+        assert _norm(run_mesh(**_FAST)) == _norm(run_mesh(**_FAST))
+
+    def test_seed_changes_frame_logs(self):
+        a = run_mesh(seed=1, **_FAST)
+        b = run_mesh(seed=2, **_FAST)
+        assert a["frame_log_digest"] != b["frame_log_digest"]
+
+    def test_replicate_alone_changes_nothing(self):
+        assert _norm(run_mesh(replicate=0, **_FAST)) == \
+            _norm(run_mesh(replicate=9, **_FAST))
+
+    @pytest.mark.parametrize("protocol", MESH_PROTOCOLS)
+    def test_all_mesh_protocols_run(self, protocol):
+        metrics = run_mesh(protocol=protocol, **_FAST)
+        assert metrics["n_frames"] > 0
+
+    def test_trained_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown mesh protocol"):
+            run_mesh(protocol="charm", **_FAST)
+
+    def test_static_client_reports_no_handoffs(self):
+        metrics = run_mesh(speed_mps=0.0, **_FAST)
+        assert metrics["handoff_count"] == 0.0
+        assert math.isnan(metrics["handoff_disruption_s"])
+
+    def test_roaming_client_reports_handoff_metrics(self):
+        metrics = run_mesh(duration=0.25, n_relays=3, speed_mps=30.0,
+                           seed=2)
+        assert metrics["handoff_count"] >= 1.0
+        assert metrics["handoff_disruption_s"] >= 0.0
+
+    def test_longer_chain_raises_hop_count(self):
+        short = run_mesh(n_relays=2, duration=0.06)
+        long = run_mesh(n_relays=3, duration=0.06)
+        assert long["mean_hops"] > short["mean_hops"]
+
+    def test_starved_ttl_kills_delivery(self):
+        metrics = run_mesh(ttl=1, **_FAST)
+        assert metrics["delivery_rate"] == 0.0
+        assert metrics["ttl_drops"] > 0
+
+
+class TestMeshRegistration:
+    def test_registered_with_seed_param(self):
+        spec = get_experiment("mesh")
+        assert spec.seed_param == "seed"
+        assert "replicate" in spec.params
+        assert spec.params["phy_backend"] == "surrogate"
+        assert spec.algorithms == MESH_PROTOCOLS
+
+    def test_runs_through_registry(self):
+        result = run("mesh", **_FAST)
+        assert result.experiment == "mesh"
+        assert "mbps" in result.aggregates

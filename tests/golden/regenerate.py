@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate the golden PHY and MAC regression fixtures.
+"""Regenerate the golden PHY, MAC and mesh regression fixtures.
 
 The PHY goldens (``phy_ber_points.json``) pin fig07/fig08-style BER
 points at fixed seeds: small, fully deterministic Monte Carlo runs
@@ -7,7 +7,8 @@ whose per-frame BER estimates, ground truths, and SNR estimates are
 committed as JSON.  The MAC goldens (``mac_throughput.json``) pin
 per-protocol throughput points of a small fixed contention scenario
 under both PHY backends — delivered frame counts, aggregate Mbps, and
-an exact frame-log digest.  The regression test
+an exact frame-log digest.  The mesh goldens (``mesh_chain.json``)
+do the same for a fixed 2-hop relay chain.  The regression test
 (``tests/test_golden_regression.py``) re-runs the same configurations
 and asserts the numbers still match within a tight tolerance, so a
 PHY *or MAC* refactor cannot silently shift the paper's curves.
@@ -143,6 +144,57 @@ def compute_mac(config):
     return points
 
 
+#: The pinned mesh scenario: a static client pushing small frames over
+#: a fixed 2-hop relay chain (client -> AP1 -> AP2 sink) for 20 ms.
+#: Every hop runs its own rate adapter, so this pins the geometry ->
+#: SNR -> per-hop SoftPHY feedback path end to end under both PHY
+#: backends.
+MESH_CONFIG = {
+    "seed": 5,
+    "payload_bits": 368,
+    "duration": 0.02,
+    "n_relays": 2,
+    "spacing_m": 9.0,
+    "protocols": ["softrate", "rraa"],
+    "backends": ["surrogate", "full"],
+}
+
+
+def compute_mesh_point(config, backend, protocol):
+    """One (backend, protocol) point of the mesh relay-chain golden."""
+    from repro.analysis.metrics import frame_log_digest
+    from repro.experiments.common import protocol_factory
+    from repro.sim.mesh import run_mesh_scenario
+
+    result = run_mesh_scenario(
+        protocol_factory(protocol), duration=config["duration"],
+        n_relays=config["n_relays"], spacing_m=config["spacing_m"],
+        payload_bits=config["payload_bits"], seed=config["seed"],
+        phy_backend=backend)
+    return {
+        "originated": result.originated,
+        "delivered": len(result.delivered),
+        "hop_counts": sorted(hops for _, hops in result.delivered),
+        "n_attempts": sum(len(log)
+                          for log in result.frame_logs.values()),
+        "goodput_mbps": result.goodput_mbps,
+        "frame_log_digest": frame_log_digest(result.frame_logs),
+    }
+
+
+def compute_mesh(config):
+    points = {}
+    for backend in config["backends"]:
+        for protocol in config["protocols"]:
+            print(f"  mesh: {backend}/{protocol} ...", flush=True)
+            points[f"{backend}/{protocol}"] = \
+                compute_mesh_point(config, backend, protocol)
+    return points
+
+
+MESH_GOLDEN_PATH = os.path.join(GOLDEN_DIR, "mesh_chain.json")
+
+
 def main() -> int:
     goldens = {}
     for name, config in CONFIGS.items():
@@ -159,6 +211,12 @@ def main() -> int:
         json.dump(mac, fh, indent=1, sort_keys=True)
         fh.write("\n")
     print(f"wrote {MAC_GOLDEN_PATH}")
+    print("computing mesh golden ...", flush=True)
+    mesh = {"config": MESH_CONFIG, "points": compute_mesh(MESH_CONFIG)}
+    with open(MESH_GOLDEN_PATH, "w") as fh:
+        json.dump(mesh, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {MESH_GOLDEN_PATH}")
     return 0
 
 

@@ -1,0 +1,130 @@
+"""Tests for TTL-bounded forwarding and duplicate suppression.
+
+Uses real :class:`MeshNode` stacks over a real channel where the
+deterministic cases are easy to stage (close-range clean links), plus
+direct ``_receive`` calls for the drop paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import softrate_factory
+from repro.sim.eventsim import Simulator
+from repro.sim.mac import MacFrame
+from repro.sim.mesh import MeshChannel, MeshGeometry, MeshPacket
+from repro.sim.mesh.forwarding import MeshNode
+from repro.sim.topology import make_airtime_fn
+
+
+def build_chain(n_nodes=3, spacing=5.0, seed=1):
+    """A short clean chain 0 -> 1 -> ... -> n-1 with linear routing."""
+    sim = Simulator()
+    geo = MeshGeometry({i: (i * spacing, 0.0)
+                        for i in range(n_nodes)})
+    channel = MeshChannel(geo, np.random.default_rng(seed))
+
+    def route(node, dest):
+        return node - 1 if node > dest else node + 1
+
+    airtime = make_airtime_fn(channel.rates)
+    nodes = {
+        i: MeshNode(sim, channel, i, np.random.default_rng(seed + i),
+                    adapter_factory=lambda peer:
+                    softrate_factory(channel.rates, None),
+                    airtime_fn=airtime, route=route)
+        for i in range(n_nodes)}
+    return sim, nodes
+
+
+class TestOriginate:
+    def test_packets_reach_the_far_end(self):
+        sim, nodes = build_chain()
+        assert nodes[0].originate(2, 368, ttl=4)
+        sim.run_until(0.05)
+        assert len(nodes[2].delivered) == 1
+        _, hops = nodes[2].delivered[0]
+        assert hops == 2
+
+    def test_seq_numbers_do_not_wrap(self):
+        sim, nodes = build_chain(n_nodes=2)
+        nodes[0]._origin_seq = 5000    # past the MAC's 4096 wrap
+        assert nodes[0].originate(1, 368, ttl=1)
+        sim.run_until(0.05)
+        assert len(nodes[1].delivered) == 1
+
+    def test_ttl_must_be_positive(self):
+        _, nodes = build_chain(n_nodes=2)
+        with pytest.raises(ValueError, match="ttl"):
+            nodes[0].originate(1, 368, ttl=0)
+
+    def test_full_queue_returns_false(self):
+        _, nodes = build_chain(n_nodes=2)
+        accepted = 0
+        while nodes[0].originate(1, 368, ttl=1):
+            accepted += 1
+        # Queue capacity (50) bounds acceptance; counters agree.
+        assert accepted == nodes[0].originated == 50
+
+
+class TestTtl:
+    def test_exhausted_ttl_dropped_not_forwarded(self):
+        sim, nodes = build_chain(n_nodes=3)
+        # TTL 1 permits exactly one MAC hop: node 1 receives with no
+        # budget left and must drop rather than forward.
+        assert nodes[0].originate(2, 368, ttl=1)
+        sim.run_until(0.05)
+        assert len(nodes[2].delivered) == 0
+        assert nodes[1].ttl_drops == 1
+
+    def test_delivered_hops_bounded_by_initial_ttl(self):
+        sim, nodes = build_chain(n_nodes=4)
+        for _ in range(5):
+            nodes[0].originate(3, 368, ttl=8)
+        sim.run_until(0.2)
+        assert nodes[3].delivered
+        assert all(hops <= 8 for _, hops in nodes[3].delivered)
+
+
+class TestDuplicates:
+    def _packet(self, seq=0, ttl=3):
+        return MeshPacket(origin=0, final_dest=2, seq=seq, ttl=ttl,
+                          initial_ttl=ttl)
+
+    def _frame(self, packet):
+        return MacFrame(src=0, dest=1, seq=0, payload=packet,
+                        payload_bits=368)
+
+    def test_second_copy_dropped_at_relay(self):
+        _, nodes = build_chain()
+        packet = self._packet()
+        nodes[1]._receive(self._frame(packet))
+        nodes[1]._receive(self._frame(packet))
+        assert nodes[1].duplicate_drops == 1
+
+    def test_destination_delivers_once(self):
+        sim, nodes = build_chain(n_nodes=2)
+        packet = MeshPacket(origin=0, final_dest=1, seq=9, ttl=2,
+                            initial_ttl=2)
+        frame = MacFrame(src=0, dest=1, seq=0, payload=packet,
+                         payload_bits=368)
+        nodes[1]._receive(frame)
+        nodes[1]._receive(frame)
+        assert len(nodes[1].delivered) == 1
+        assert nodes[1].duplicate_drops == 1
+
+    def test_loop_back_to_origin_killed(self):
+        sim, nodes = build_chain()
+        assert nodes[0].originate(2, 368, ttl=4)
+        looped = MeshPacket(origin=0, final_dest=2, seq=0, ttl=3,
+                            initial_ttl=4, hops=1)
+        nodes[0]._receive(MacFrame(src=1, dest=0, seq=0,
+                                   payload=looped, payload_bits=368))
+        assert nodes[0].duplicate_drops == 1
+
+    def test_non_mesh_payload_ignored(self):
+        _, nodes = build_chain()
+        nodes[1]._receive(MacFrame(src=0, dest=1, seq=0,
+                                   payload="tcp-segment",
+                                   payload_bits=368))
+        assert nodes[1].delivered == []
+        assert nodes[1].duplicate_drops == 0

@@ -1,0 +1,60 @@
+"""Tests for mesh geometry: positions, paths, distances."""
+
+import math
+
+import pytest
+
+from repro.sim.mesh import LinearPath, MeshGeometry
+
+
+class TestLinearPath:
+    def test_static_when_velocity_zero(self):
+        path = LinearPath(start=(3.0, 4.0), velocity=(0.0, 0.0))
+        assert path(0.0) == (3.0, 4.0)
+        assert path(100.0) == (3.0, 4.0)
+
+    def test_constant_velocity(self):
+        path = LinearPath(start=(0.0, 4.0), velocity=(30.0, 0.0))
+        assert path(0.5) == (15.0, 4.0)
+
+    def test_travel_clamp(self):
+        path = LinearPath(start=(0.0, 0.0), velocity=(10.0, 0.0),
+                          max_travel_m=18.0)
+        assert path(1.0) == (10.0, 0.0)
+        assert path(1.8) == pytest.approx((18.0, 0.0))
+        # Past the cap the node stays put.
+        assert path(100.0) == pytest.approx((18.0, 0.0))
+
+    def test_diagonal_clamp_uses_speed(self):
+        path = LinearPath(start=(0.0, 0.0), velocity=(3.0, 4.0),
+                          max_travel_m=10.0)
+        x, y = path(100.0)
+        assert math.hypot(x, y) == pytest.approx(10.0)
+
+
+class TestMeshGeometry:
+    def test_fixed_and_mobile_nodes(self):
+        geo = MeshGeometry({0: LinearPath((0.0, 4.0), (2.0, 0.0)),
+                            1: (0.0, 0.0), 2: (9.0, 0.0)})
+        assert geo.node_ids() == [0, 1, 2]
+        assert geo.position(1, 5.0) == (0.0, 0.0)
+        assert geo.position(0, 1.0) == (2.0, 4.0)
+
+    def test_distance_evolves_with_time(self):
+        geo = MeshGeometry({0: LinearPath((0.0, 0.0), (1.0, 0.0)),
+                            1: (10.0, 0.0)})
+        assert geo.distance(0, 1, 0.0) == pytest.approx(10.0)
+        assert geo.distance(0, 1, 4.0) == pytest.approx(6.0)
+
+    def test_distance_symmetric(self):
+        geo = MeshGeometry({0: (0.0, 3.0), 1: (4.0, 0.0)})
+        assert geo.distance(0, 1, 0.0) == geo.distance(1, 0, 0.0) == 5.0
+
+    def test_unknown_node_raises(self):
+        geo = MeshGeometry({0: (0.0, 0.0)})
+        with pytest.raises(KeyError, match="unknown node"):
+            geo.position(7, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MeshGeometry({})

@@ -1,0 +1,194 @@
+"""Tests for the geometry-driven mesh channel.
+
+Covers the link model (path loss + reciprocal shadowing/fading),
+deterministic carrier sense (hidden terminals from geometry), the
+per-node receive buffers, SINR capture, and the clean/collided/
+postamble/silent fate taxonomy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.sim.mesh import MeshChannel, MeshGeometry
+from repro.sim.wireless import MacFrame, Transmission
+
+#: Chain layout: 0 and 1 adjacent (9 m), 2 two hops out (18 m, below
+#: the 3 dB carrier-sense threshold from 0), 3 far out of range.
+_NODES = {0: (0.0, 0.0), 1: (9.0, 0.0), 2: (18.0, 0.0),
+          3: (60.0, 0.0)}
+
+
+def make_channel(seed=1, **kwargs):
+    return MeshChannel(MeshGeometry(_NODES),
+                       np.random.default_rng(seed), **kwargs)
+
+
+def make_tx(src, dest, start=0.0, airtime=1e-3, seq=0):
+    frame = MacFrame(src=src, dest=dest, seq=seq, payload=None,
+                     payload_bits=368)
+    return Transmission(frame=frame, rate_index=2, start=start,
+                        end=start + airtime,
+                        preamble_end=start + 16e-6,
+                        postamble_start=start + airtime - 8e-6)
+
+
+class TestLinkModel:
+    def test_snr_decreases_with_distance(self):
+        ch = make_channel()
+        snrs = [ch.mean_snr_db(0, peer, 0.0) for peer in (1, 2, 3)]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_no_shadowing_by_default(self):
+        assert make_channel().shadowing_db(0, 1) == 0.0
+
+    def test_shadowing_reciprocal_and_deterministic(self):
+        pathloss = LogDistancePathLoss(shadowing_sigma_db=6.0)
+        a = make_channel(pathloss=pathloss, link_seed=4)
+        b = make_channel(pathloss=pathloss, link_seed=4)
+        assert a.shadowing_db(0, 1) == a.shadowing_db(1, 0)
+        assert a.shadowing_db(0, 1) == b.shadowing_db(1, 0)
+        assert a.shadowing_db(0, 1) != a.shadowing_db(0, 2)
+        # A different link seed draws a different realisation.
+        c = make_channel(pathloss=pathloss, link_seed=5)
+        assert a.shadowing_db(0, 1) != c.shadowing_db(0, 1)
+
+    def test_trajectory_fading_is_order_independent(self):
+        a = make_channel(link_seed=9)
+        b = make_channel(link_seed=9)
+        # Warm b's 0-2 link first: realisations must not depend on
+        # the order links are touched in.
+        b.snr_trajectory(0, 2, 0.0, 1e-3)
+        t1 = a.snr_trajectory(0, 1, 0.0, 1e-3)
+        t2 = b.snr_trajectory(0, 1, 0.0, 1e-3)
+        assert np.array_equal(t1, t2)
+        assert t1.shape == (8,)
+
+
+class TestCarrierSense:
+    def test_neighbor_senses_busy_medium(self):
+        ch = make_channel()
+        ch.begin_transmission(make_tx(0, 1))
+        assert ch.medium_busy_until(1, 1e-4) == pytest.approx(1e-3)
+
+    def test_two_hop_node_is_hidden(self):
+        """18 m ~ 2 dB mean SNR: below the 3 dB sense threshold, so
+        the hidden terminal emerges from distance, not a knob."""
+        ch = make_channel()
+        ch.begin_transmission(make_tx(0, 1))
+        assert ch.medium_busy_until(2, 1e-4) is None
+
+    def test_sense_decision_is_sticky(self):
+        ch = make_channel()
+        tx = make_tx(0, 1)
+        ch.begin_transmission(tx)
+        ch.medium_busy_until(1, 1e-4)
+        assert tx.sensed_by[1] is True
+        # Flipping the cache flips the answer: the cached sample is
+        # authoritative for the transmission's lifetime.
+        tx.sensed_by[1] = False
+        assert ch.medium_busy_until(1, 2e-4) is None
+
+
+class TestReceiveBuffers:
+    def test_audible_nodes_buffered(self):
+        ch = make_channel()
+        ch.begin_transmission(make_tx(0, 1))
+        assert len(ch._rx_buffers.get(1, [])) == 1
+        assert len(ch._rx_buffers.get(2, [])) == 1
+        # 60 m is below the audibility floor entirely.
+        assert len(ch._rx_buffers.get(3, [])) == 0
+
+
+class TestFates:
+    def test_clean_delivery_at_close_range(self):
+        ch = make_channel()
+        tx = make_tx(0, 1)
+        ch.begin_transmission(tx)
+        fate = ch.conclude_transmission(tx)
+        assert fate.kind == "clean"
+        assert fate.feedback is not None
+        assert ch.stats["clean"] == 1
+
+    def test_out_of_range_is_silent(self):
+        ch = make_channel()
+        tx = make_tx(0, 3)
+        ch.begin_transmission(tx)
+        fate = ch.conclude_transmission(tx)
+        assert fate.kind == "silent"
+        assert fate.feedback is None
+
+    def test_deaf_receiver_is_silent(self):
+        ch = make_channel()
+        tx = make_tx(0, 1)
+        other = make_tx(1, 0, start=2e-4)
+        ch.begin_transmission(tx)
+        ch.begin_transmission(other)
+        assert ch.conclude_transmission(tx).kind == "silent"
+
+    def test_hidden_terminal_collision(self):
+        """0 and 2 are mutually hidden; their overlapping frames at 1
+        collide (receiver locked onto the earlier one)."""
+        ch = make_channel(capture_margin_db=100.0)
+        tx = make_tx(0, 1)
+        hidden = make_tx(2, 1, start=2e-4)
+        ch.begin_transmission(tx)
+        ch.begin_transmission(hidden)
+        fate = ch.conclude_transmission(tx)
+        assert fate.kind == "collided"
+        assert fate.feedback is not None
+        assert not fate.delivered
+
+    def test_late_frame_with_covered_postamble_is_silent(self):
+        ch = make_channel(capture_margin_db=100.0)
+        early = make_tx(0, 1)
+        late = make_tx(2, 1, start=2e-4, airtime=4e-4)
+        ch.begin_transmission(early)
+        ch.begin_transmission(late)
+        # ``late`` starts after ``early`` locked the receiver and ends
+        # inside it, so its postamble is covered too: total loss.
+        assert ch.conclude_transmission(late).kind == "silent"
+
+    def test_late_frame_with_clear_postamble(self):
+        ch = make_channel(capture_margin_db=100.0)
+        early = make_tx(0, 1, airtime=3e-4)
+        late = make_tx(2, 1, start=2e-4, airtime=1e-3)
+        ch.begin_transmission(early)
+        ch.begin_transmission(late)
+        fate = ch.conclude_transmission(late)
+        assert fate.kind == "postamble"
+        assert fate.feedback.postamble_only
+
+    def test_capture_survives_weak_interferer(self):
+        """5 m signal vs 18 m interferer is ~16.7 dB of SINR — above
+        the default 10 dB capture margin, so the strong frame rides
+        through the overlap as clean."""
+        geo = MeshGeometry({0: (5.0, 0.0), 1: (0.0, 0.0),
+                            2: (18.0, 0.0)})
+        ch = MeshChannel(geo, np.random.default_rng(1))
+        tx = make_tx(0, 1)
+        weak = make_tx(2, 1, start=2e-4)
+        ch.begin_transmission(tx)
+        ch.begin_transmission(weak)
+        fate = ch.conclude_transmission(tx)
+        assert fate.kind == "clean"
+        assert ch.stats["captured"] == 1
+
+    def test_rts_protected_ignores_overlap(self):
+        ch = make_channel(capture_margin_db=100.0)
+        tx = make_tx(0, 1)
+        tx.rts_protected = True
+        hidden = make_tx(2, 1, start=2e-4)
+        ch.begin_transmission(tx)
+        ch.begin_transmission(hidden)
+        assert ch.conclude_transmission(tx).kind == "clean"
+
+
+class TestValidation:
+    def test_detect_prob_bounds(self):
+        with pytest.raises(ValueError):
+            make_channel(detect_prob=1.5)
+
+    def test_doppler_positive(self):
+        with pytest.raises(ValueError):
+            make_channel(doppler_hz=0.0)

@@ -27,6 +27,9 @@ _GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 _MAC_GOLDEN_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)),
     "golden", "mac_throughput.json")
+_MESH_GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "golden", "mesh_chain.json")
 
 #: Tight but not bit-exact: exp/log implementations may differ in the
 #: last ulp across platforms/BLAS builds, and BER estimates span ~60
@@ -135,6 +138,57 @@ def test_mac_throughput_point_matches_golden(mac_golden, point):
             f"{point}: frame logs shifted (regenerate if intentional)"
     assert got["aggregate_mbps"] == \
         pytest.approx(want["aggregate_mbps"], rel=_RTOL)
+
+
+@pytest.fixture(scope="module")
+def mesh_golden():
+    with open(_MESH_GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _mesh_point_ids():
+    with open(_MESH_GOLDEN_PATH) as fh:
+        return sorted(json.load(fh)["points"])
+
+
+def _golden_module():
+    import importlib
+    import sys
+
+    sys.path.insert(0, os.path.join(os.path.dirname(
+        os.path.abspath(__file__)), "golden"))
+    try:
+        return importlib.import_module("regenerate")
+    finally:
+        sys.path.pop(0)
+
+
+@pytest.mark.parametrize("point", _mesh_point_ids())
+def test_mesh_chain_point_matches_golden(mesh_golden, point):
+    """Mesh-level golden: a fixed 2-hop relay chain's frame counts,
+    hop counts and exact frame-log digest are pinned per (backend,
+    protocol) — a geometry, channel or forwarding refactor cannot
+    silently shift multi-hop results."""
+    compute_mesh_point = _golden_module().compute_mesh_point
+
+    backend, protocol = point.split("/")
+    want = mesh_golden["points"][point]
+    got = compute_mesh_point(mesh_golden["config"], backend, protocol)
+    assert got["originated"] == want["originated"], \
+        f"{point}: originated packet count shifted"
+    assert got["delivered"] == want["delivered"], \
+        f"{point}: end-to-end delivery count shifted"
+    assert got["hop_counts"] == want["hop_counts"], \
+        f"{point}: delivered hop counts shifted"
+    assert got["n_attempts"] == want["n_attempts"], \
+        f"{point}: transmission attempt count shifted"
+    # Same policy as the MAC golden: the exact digest is pinned only
+    # for the table-driven surrogate backend (see comment above).
+    if backend == "surrogate":
+        assert got["frame_log_digest"] == want["frame_log_digest"], \
+            f"{point}: frame logs shifted (regenerate if intentional)"
+    assert got["goodput_mbps"] == \
+        pytest.approx(want["goodput_mbps"], rel=_RTOL)
 
 
 def test_fig08_ber_points_match_golden(goldens):
