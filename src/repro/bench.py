@@ -8,7 +8,10 @@ scale story rests on and writes them to repo-root JSON files:
   speedup ratios.
 * ``BENCH_campaigns.json`` — campaign engine throughput: smoke-tiny
   scenarios/hour, plus the orchestration-efficiency ratio (campaign
-  wall time vs the same cells run bare).
+  wall time vs the same cells run bare), plus the MAC-engine series:
+  station-seconds simulated per wall second for the event-driven
+  oracle and the slot-synchronous engine on the same saturated
+  50-station cell, and their ratio (``slot_vs_event_speedup``).
 
 ``repro bench --check`` re-measures using each committed file's *own*
 embedded config (the golden-fixture pattern: the baseline carries the
@@ -40,7 +43,7 @@ CAMPAIGN_BENCH_FILE = "BENCH_campaigns.json"
 DEFAULT_TOLERANCE = 0.10
 
 _PHY_SCHEMA = "repro-bench-phy/1"
-_CAMPAIGN_SCHEMA = "repro-bench-campaigns/1"
+_CAMPAIGN_SCHEMA = "repro-bench-campaigns/2"
 
 #: Measurement recipe embedded in BENCH_phy.json.
 DEFAULT_PHY_CONFIG = {
@@ -53,11 +56,24 @@ DEFAULT_PHY_CONFIG = {
     "seed": 2009,
 }
 
-#: Measurement recipe embedded in BENCH_campaigns.json.
+#: Measurement recipe embedded in BENCH_campaigns.json.  The
+#: ``engine_*`` keys pin the MAC-engine comparison cell: 50 saturated
+#: stations with the traces' precomputed frame fates
+#: (``phy_backend=None``), which isolates the MAC engines themselves
+#: — the quantity ``slot_vs_event_speedup`` claims to measure.  The
+#: 0.5 s horizon matters: the event engine's per-conclude history
+#: scans grow with simulated time while the slot engine's cost per
+#: transmission stays flat, so short horizons understate the gap a
+#: campaign-scale run sees.
 DEFAULT_CAMPAIGN_CONFIG = {
     "campaign": "smoke-tiny",
     "jobs": 1,
     "repeats": 3,               # best-of wall times
+    "engine_protocol": "softrate",
+    "engine_channel": "fading",
+    "engine_n_clients": 50,
+    "engine_duration": 0.5,
+    "engine_trace_pool": 8,
 }
 
 
@@ -154,6 +170,12 @@ def measure_campaigns(config: Optional[dict] = None
     efficiency near 1.0 means checkpointing/dispatch overhead is
     negligible; this ratio, not the machine-bound scenarios/hour, is
     what the regression gate watches.
+
+    Also measures the MAC-engine series (see the ``engine_*`` config
+    keys): wall time for the same saturated cell on the event-driven
+    oracle vs the slot-synchronous engine, reported as
+    station-seconds-simulated per wall second plus their gated ratio
+    ``slot_vs_event_speedup``.
     """
     import tempfile
 
@@ -193,11 +215,44 @@ def measure_campaigns(config: Optional[dict] = None
             raise RuntimeError(
                 f"benchmark campaign incomplete: {status.completed}/"
                 f"{len(scenarios)} scenarios")
+
+    # MAC-engine series: the same saturated cell on the event-driven
+    # oracle and the slot-synchronous engine.  The digests must match
+    # — a speedup over an engine computing something different would
+    # be meaningless.
+    from repro.experiments.cell import run_cell
+
+    n_stations = int(cfg["engine_n_clients"])
+    horizon = float(cfg["engine_duration"])
+    digests: Dict[str, float] = {}
+
+    def engine_pass(mac_engine: str) -> None:
+        out = run_cell(protocol=str(cfg["engine_protocol"]),
+                       channel=str(cfg["engine_channel"]),
+                       n_clients=n_stations, duration=horizon,
+                       trace_pool=int(cfg["engine_trace_pool"]),
+                       phy_backend=None, workload="mac",
+                       mac_engine=mac_engine)
+        digests[mac_engine] = out["frame_log_digest"]
+
+    engine_pass("event")            # warm the trace pool + imports
+    engine_pass("slot")
+    if digests["event"] != digests["slot"]:
+        raise RuntimeError(
+            "MAC-engine benchmark invalid: frame-log digests differ "
+            f"between engines ({digests['event']:.0f} vs "
+            f"{digests['slot']:.0f})")
+    event_s = _best_of(repeats, lambda: engine_pass("event"))
+    slot_s = _best_of(repeats, lambda: engine_pass("slot"))
+    station_seconds = n_stations * horizon
     return {
         "scenarios_per_hour": 3600.0 * len(scenarios) / campaign_s,
         "campaign_wall_s": campaign_s,
         "bare_cells_wall_s": bare_s,
         "orchestration_efficiency": bare_s / campaign_s,
+        "event_station_seconds_per_sec": station_seconds / event_s,
+        "slot_station_seconds_per_sec": station_seconds / slot_s,
+        "slot_vs_event_speedup": event_s / slot_s,
     }
 
 
@@ -206,7 +261,8 @@ _SUITES = {
             measure_phy, ("batched_speedup", "surrogate_speedup")),
     "campaigns": (CAMPAIGN_BENCH_FILE, _CAMPAIGN_SCHEMA,
                   DEFAULT_CAMPAIGN_CONFIG, measure_campaigns,
-                  ("orchestration_efficiency",)),
+                  ("orchestration_efficiency",
+                   "slot_vs_event_speedup")),
 }
 
 

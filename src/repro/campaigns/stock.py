@@ -11,6 +11,10 @@ at:
 * ``contention-scale`` — the production-scale sweep: >1000 scenarios
   pushing contention to 50 stations on the surrogate backend, the
   aggregate-throughput-bottleneck regime.
+* ``contention-xl`` — extreme-density cells (250 and 1000 stations)
+  on the slot-synchronous MAC engine (:mod:`repro.sim.slotmac`) with
+  the saturated MAC workload; the scale the event-driven engine
+  cannot reach in reasonable time.
 * ``mesh-smoke`` / ``mesh-matrix`` — the mesh family over the
   :mod:`repro.experiments.mesh` experiment: hop count x protocol x
   shadowing spread x roaming speed across geometry-driven relay
@@ -134,6 +138,23 @@ register_campaign(CampaignMatrix(
           "phy_backend": "surrogate"},
     replicates=6,
     seed=50,
+))
+
+register_campaign(CampaignMatrix(
+    name="contention-xl",
+    experiment="cell",
+    description="extreme-density cells (250/1000 stations) on the "
+                "slot-synchronous MAC engine (16 scenarios)",
+    axes=(
+        Axis("protocol", ("softrate", "rraa")),
+        Axis("n_clients", (250, 1000)),
+        Axis("mean_snr_db", (12.0, 22.0)),
+    ),
+    base={"channel": "static", "duration": 0.05, "trace_pool": 8,
+          "workload": "mac", "mac_engine": "slot",
+          "phy_backend": "surrogate"},
+    replicates=2,
+    seed=71,
 ))
 
 register_campaign(CampaignMatrix(

@@ -189,22 +189,41 @@ def _cmd_thresholds(args) -> int:
 
 def _cmd_simulate(args) -> int:
     from repro.experiments.common import protocol_factory
-    from repro.sim.topology import run_tcp_uplink
+    from repro.sim.topology import run_mac_contention, run_tcp_uplink
     from repro.traces.workloads import walking_traces
 
+    if args.engine == "slot" and args.workload != "mac":
+        raise SystemExit("error: --engine slot requires "
+                         "--workload mac (see docs/slotmac.md)")
     uplinks = walking_traces(args.clients, seed=args.seed)
-    downlinks = walking_traces(args.clients, seed=args.seed + 50)
     factory = protocol_factory(args.protocol,
                                training_trace=uplinks[0])
     backend = None if args.phy_backend == "trace" else args.phy_backend
-    result = run_tcp_uplink(uplinks, downlinks, factory,
-                            n_clients=args.clients,
-                            duration=args.duration, seed=args.seed,
-                            phy_backend=backend)
-    print(f"{args.protocol}: {result.aggregate_mbps:.2f} Mbps "
+    if args.workload == "mac":
+        if args.engine == "slot":
+            from repro.sim.slotmac import run_slot_contention
+            run_contention = run_slot_contention
+        else:
+            run_contention = run_mac_contention
+        result = run_contention(uplinks, factory,
+                                n_clients=args.clients,
+                                duration=args.duration,
+                                seed=args.seed, phy_backend=backend)
+        per_flow = result.per_client_mbps
+        label = f"mac/{args.engine}"
+    else:
+        downlinks = walking_traces(args.clients, seed=args.seed + 50)
+        result = run_tcp_uplink(uplinks, downlinks, factory,
+                                n_clients=args.clients,
+                                duration=args.duration,
+                                seed=args.seed, phy_backend=backend)
+        per_flow = result.per_flow_mbps
+        label = "tcp"
+    print(f"{args.protocol} [{label}]: "
+          f"{result.aggregate_mbps:.2f} Mbps "
           f"aggregate over {args.duration:g} s "
           f"({args.clients} clients)")
-    for flow, mbps in enumerate(result.per_flow_mbps):
+    for flow, mbps in enumerate(per_flow):
         print(f"  flow {flow}: {mbps:.2f} Mbps")
     return 0
 
@@ -482,6 +501,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--separation", type=float, default=10.0)
 
     p = sub.add_parser("simulate", help="run a TCP uplink simulation")
+    p.add_argument("--workload", choices=["tcp", "mac"],
+                   default="tcp",
+                   help="TCP uplink (default) or saturated MAC flood")
+    p.add_argument("--engine", choices=["event", "slot"],
+                   default="event",
+                   help="MAC engine for --workload mac: the "
+                        "event-driven oracle or the slot-synchronous "
+                        "large-cell engine")
     p.add_argument("--protocol", choices=list(_PROTOCOL_CHOICES),
                    default="softrate")
     p.add_argument("--clients", type=int, default=1)

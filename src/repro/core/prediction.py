@@ -17,8 +17,6 @@ walk consumes.
 
 from __future__ import annotations
 
-import numpy as np
-
 __all__ = ["predict_ber", "BER_FLOOR", "BER_CEILING", "RATE_SEPARATION"]
 
 #: BER below which we stop resolving differences (a 960-byte frame
@@ -48,4 +46,10 @@ def predict_ber(ber: float, from_rate: int, to_rate: int,
         raise ValueError("separation factor must be >= 1")
     steps = to_rate - from_rate
     predicted = ber * separation ** steps
-    return float(np.clip(predicted, BER_FLOOR, BER_CEILING))
+    # Scalar clip: np.clip costs microseconds per call and this sits
+    # on the per-feedback hot path of every rate walk.
+    if predicted < BER_FLOOR:
+        return BER_FLOOR
+    if predicted > BER_CEILING:
+        return BER_CEILING
+    return float(predicted)

@@ -1,11 +1,15 @@
 """The campaign matrix cell: one point of a large scenario sweep.
 
 Every campaign (:mod:`repro.campaigns`) expands into thousands of
-parameterizations of this one registered experiment — a short Fig. 12
-TCP-uplink contention run at a single (protocol, channel model,
-interference level, client count, SNR, PHY backend) point, reduced to
-the tidy scalar metrics the paper's matrix claim is argued over:
-throughput, loss, convergence time, and rate-selection accuracy.
+parameterizations of this one registered experiment — a short
+contention run at a single (protocol, channel model, interference
+level, client count, SNR, PHY backend) point, reduced to the tidy
+scalar metrics the paper's matrix claim is argued over: throughput,
+loss, convergence time, and rate-selection accuracy.  The workload is
+either the Fig. 12 TCP uplink (default) or a saturated MAC flood,
+and the MAC flood can run on either the event-driven engine or the
+vectorised slot-synchronous one (``mac_engine="slot"``), which is how
+campaigns reach 1000-station cells.
 
 Design notes for campaign scale:
 
@@ -34,7 +38,8 @@ from repro.analysis.metrics import (frame_log_digest,
                                     rate_selection_accuracy,
                                     settling_time)
 from repro.experiments.api import register_experiment
-from repro.sim.topology import AP_ID, run_tcp_uplink
+from repro.sim.slotmac import run_slot_contention
+from repro.sim.topology import AP_ID, run_mac_contention, run_tcp_uplink
 from repro.traces.format import LinkTrace
 from repro.traces.workloads import (simulation_traces,
                                     static_short_range_traces,
@@ -91,7 +96,9 @@ def _trace_pool(channel: str, n_links: int, duration: float,
             "duration": 0.3, "carrier_sense_prob": 1.0,
             "detect_prob": 0.8, "use_postambles": True,
             "trace_pool": 0, "trace_seed": 2009, "seed": 1,
-            "replicate": 0, "phy_backend": "surrogate"},
+            "replicate": 0, "phy_backend": "surrogate",
+            "workload": "tcp", "mac_engine": "event",
+            "payload_bits": 368},
     traces=("walking", "static", "rayleigh"),
     algorithms=("softrate", "samplerate", "rraa", "snr", "charm",
                 "snr-untrained", "omniscient"),
@@ -102,7 +109,9 @@ def run_cell(protocol: str = "softrate", channel: str = "static",
              carrier_sense_prob: float = 1.0, detect_prob: float = 0.8,
              use_postambles: bool = True, trace_pool: int = 0,
              trace_seed: int = 2009, seed: int = 1, replicate: int = 0,
-             phy_backend: Optional[str] = "surrogate") -> dict:
+             phy_backend: Optional[str] = "surrogate",
+             workload: str = "tcp", mac_engine: str = "event",
+             payload_bits: int = 368) -> dict:
     """Run one campaign cell; return its flat metric dict.
 
     Args:
@@ -128,6 +137,16 @@ def run_cell(protocol: str = "softrate", channel: str = "static",
             diversifies a campaign scenario's derived seed.
         phy_backend: ``"surrogate"`` (default), ``"full"``, or ``None``
             for the traces' precomputed frame fates.
+        workload: ``"tcp"`` (Fig. 12 TCP uplink, the default) or
+            ``"mac"`` — saturated link-layer flooding, the workload
+            both MAC engines implement, and the only one the slot
+            engine supports.
+        mac_engine: ``"event"`` (the event-driven oracle) or
+            ``"slot"`` (:mod:`repro.sim.slotmac`, the vectorised
+            slot-synchronous engine for 1000-station cells; requires
+            ``workload="mac"`` and full carrier sensing).
+        payload_bits: frame payload for the MAC workload (the TCP
+            workload derives frame sizes from the transport).
 
     Returns:
         Flat ``{metric: float}`` dict: ``mbps``, ``fairness`` (Jain
@@ -139,22 +158,44 @@ def run_cell(protocol: str = "softrate", channel: str = "static",
 
     if n_clients < 1:
         raise ValueError("n_clients must be >= 1")
+    if workload not in ("tcp", "mac"):
+        raise ValueError(f"unknown workload {workload!r}; "
+                         f"available: ['tcp', 'mac']")
+    if mac_engine not in ("event", "slot"):
+        raise ValueError(f"unknown mac_engine {mac_engine!r}; "
+                         f"available: ['event', 'slot']")
+    if mac_engine == "slot" and workload != "mac":
+        raise ValueError("the slot-synchronous engine only implements "
+                         "the saturated 'mac' workload")
     pool = n_clients if trace_pool <= 0 else min(trace_pool, n_clients)
     trace_duration = duration + _TRACE_MARGIN_S
     uplinks = _trace_pool(channel, pool, trace_duration, mean_snr_db,
                           doppler_hz, trace_seed)
-    downlinks = _trace_pool(channel, pool, trace_duration, mean_snr_db,
-                            doppler_hz,
-                            trace_seed + _DOWNLINK_SEED_OFFSET)
     factory = protocol_factory(protocol, training_trace=uplinks[0])
-    result = run_tcp_uplink(
-        list(uplinks), list(downlinks), factory, n_clients=n_clients,
-        duration=duration, seed=seed,
-        carrier_sense_prob=carrier_sense_prob,
-        detect_prob=detect_prob, use_postambles=use_postambles,
-        phy_backend=phy_backend, recycle_traces=True)
+    if workload == "tcp":
+        downlinks = _trace_pool(channel, pool, trace_duration,
+                                mean_snr_db, doppler_hz,
+                                trace_seed + _DOWNLINK_SEED_OFFSET)
+        result = run_tcp_uplink(
+            list(uplinks), list(downlinks), factory,
+            n_clients=n_clients, duration=duration, seed=seed,
+            carrier_sense_prob=carrier_sense_prob,
+            detect_prob=detect_prob, use_postambles=use_postambles,
+            phy_backend=phy_backend, recycle_traces=True)
+        flows: List[float] = result.per_flow_mbps
+        client_trace = result.traces[(1, AP_ID)]
+    else:
+        run_contention = run_mac_contention if mac_engine == "event" \
+            else run_slot_contention
+        result = run_contention(
+            list(uplinks), factory, n_clients=n_clients,
+            duration=duration, payload_bits=payload_bits, seed=seed,
+            carrier_sense_prob=carrier_sense_prob,
+            detect_prob=detect_prob, use_postambles=use_postambles,
+            phy_backend=phy_backend)
+        flows = result.per_client_mbps
+        client_trace = uplinks[0]
 
-    flows: List[float] = result.per_flow_mbps
     square_sum = sum(x * x for x in flows)
     fairness = (sum(flows) ** 2 / (len(flows) * square_sum)) \
         if square_sum > 0 else 0.0
@@ -165,8 +206,7 @@ def run_cell(protocol: str = "softrate", channel: str = "static",
     retries = sum(1 for e in entries if e.retry > 0)
 
     client_log = result.frame_logs.get(1, [])
-    accuracy = rate_selection_accuracy(client_log,
-                                       result.traces[(1, AP_ID)])
+    accuracy = rate_selection_accuracy(client_log, client_trace)
     return {
         "mbps": result.aggregate_mbps,
         "fairness": fairness,

@@ -43,9 +43,22 @@ PAYLOAD_BITS = 11200
 _RATES = RATE_TABLE.prototype_subset()
 
 
+#: Computed SoftRate thresholds per distinct rate set.  Threshold
+#: computation is a pure (and expensive) function of the rate table,
+#: yet every station of a contention cell builds its own adapter —
+#: without this cache a 50-station cell spends more time deriving 50
+#: identical threshold sets than simulating.
+_THRESHOLD_CACHE: dict = {}
+
+
 def _softrate_thresholds(rates: RateTable):
-    return compute_thresholds(rates, FrameLevelArq(PAYLOAD_BITS + 32),
-                              separation=CALIBRATED_SEPARATION)
+    key = tuple((r.modulation, r.bits_per_symbol, r.code_rate, r.mbps)
+                for r in rates)
+    if key not in _THRESHOLD_CACHE:
+        _THRESHOLD_CACHE[key] = compute_thresholds(
+            rates, FrameLevelArq(PAYLOAD_BITS + 32),
+            separation=CALIBRATED_SEPARATION)
+    return _THRESHOLD_CACHE[key]
 
 
 def softrate_factory(rates: RateTable, trace=None) -> SoftRate:

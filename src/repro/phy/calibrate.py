@@ -239,6 +239,53 @@ class CalibrationTable:
 
     # -- lookups ------------------------------------------------------
 
+    def grid_weights(self, snr_db) -> tuple:
+        """Interpolation weights of SNR value(s) on the table's grid.
+
+        One ``searchsorted`` produces an ``(i0, i1, frac)`` triple
+        that every surface lookup (:meth:`hazard_at`, the errored and
+        clean BER levels) can reuse — the surrogate's per-frame hot
+        path queries five surfaces at the same trajectory SNRs, and
+        independent ``np.interp`` calls would redo the grid search
+        five times.  Out-of-range values clamp to the grid ends,
+        matching ``np.interp``.
+        """
+        x = np.asarray(snr_db, dtype=np.float64)
+        g = self.snr_grid_db
+        i1 = np.clip(np.searchsorted(g, x), 1, g.size - 1)
+        i0 = i1 - 1
+        frac = np.clip((x - g[i0]) / (g[i1] - g[i0]), 0.0, 1.0)
+        return i0, i1, frac
+
+    @staticmethod
+    def _at(surface_row: np.ndarray, weights: tuple) -> np.ndarray:
+        i0, i1, frac = weights
+        return surface_row[i0] * (1.0 - frac) + surface_row[i1] * frac
+
+    def hazard_at(self, rate_index: int, weights: tuple) -> np.ndarray:
+        """:meth:`hazard` via precomputed :meth:`grid_weights`."""
+        return 10.0 ** self._at(self._log_hazard[rate_index], weights)
+
+    def errored_log_ber_at(self, rate_index: int,
+                           weights: tuple) -> np.ndarray:
+        """:meth:`errored_log_ber` via :meth:`grid_weights`."""
+        return self._at(self._errored_log_ber[rate_index], weights)
+
+    def errored_log_ber_std_at(self, rate_index: int,
+                               weights: tuple) -> np.ndarray:
+        """:meth:`errored_log_ber_std` via :meth:`grid_weights`."""
+        return self._at(self._errored_log_ber_std[rate_index], weights)
+
+    def clean_log_est_at(self, rate_index: int,
+                         weights: tuple) -> np.ndarray:
+        """:meth:`clean_log_est` via :meth:`grid_weights`."""
+        return self._at(self._clean_log_est[rate_index], weights)
+
+    def clean_log_est_std_at(self, rate_index: int,
+                             weights: tuple) -> np.ndarray:
+        """:meth:`clean_log_est_std` via :meth:`grid_weights`."""
+        return self._at(self._clean_log_est_std[rate_index], weights)
+
     def bit_error_rate(self, rate_index: int, snr_db) -> np.ndarray:
         """Calibrated mean BER at the given SNR(s)."""
         logq = np.interp(np.asarray(snr_db, dtype=np.float64),

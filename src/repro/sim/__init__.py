@@ -12,6 +12,9 @@ role:
   collision geometry (preamble/postamble overlap accounting);
 * :mod:`repro.sim.mac` — 802.11-like CSMA/CA MAC with link-layer
   feedback, probabilistic carrier sense, and pluggable rate adapters;
+* :mod:`repro.sim.slotmac` — the slot-synchronous array-state twin of
+  the MAC for 1000-station saturated cells (bit-identical frame logs
+  on shared scenarios; see ``docs/slotmac.md``);
 * :mod:`repro.sim.topology` — the Fig. 12 evaluation topology.
 """
 

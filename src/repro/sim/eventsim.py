@@ -17,14 +17,17 @@ __all__ = ["Simulator", "EventHandle"]
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("_sim", "cancelled")
 
-    def __init__(self):
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
         self.cancelled = False
 
     def cancel(self) -> None:
         """Prevent the event's callback from running."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._sim._cancelled += 1
 
 
 class Simulator:
@@ -41,6 +44,8 @@ class Simulator:
         self._now = 0.0
         self._heap = []
         self._counter = itertools.count()
+        #: cancelled-but-unpopped entries still sitting in the heap.
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -60,33 +65,44 @@ class Simulator:
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at {time} before now ({self._now})")
-        handle = EventHandle()
+        handle = EventHandle(self)
         heapq.heappush(self._heap, (time, next(self._counter), callback,
                                     handle))
         return handle
 
+    def _pop(self):
+        """Pop the earliest heap entry, maintaining the cancel count."""
+        entry = heapq.heappop(self._heap)
+        if entry[3].cancelled:
+            self._cancelled -= 1
+        return entry
+
     def run_until(self, end_time: float) -> None:
         """Process events up to and including ``end_time``."""
         while self._heap and self._heap[0][0] <= end_time:
-            time, _seq, callback, handle = heapq.heappop(self._heap)
+            time, _seq, callback, handle = self._pop()
             self._now = time
             if not handle.cancelled:
                 callback()
         self._now = max(self._now, end_time)
 
     def run(self, max_events: Optional[int] = None) -> None:
-        """Drain the event queue (bounded by ``max_events`` if given)."""
+        """Drain the event queue (bounded by ``max_events`` if given).
+
+        ``max_events`` bounds *popped* heap entries, cancelled or not —
+        a heap stuffed with cancelled events cannot defeat the bound.
+        """
         processed = 0
         while self._heap:
             if max_events is not None and processed >= max_events:
                 return
-            time, _seq, callback, handle = heapq.heappop(self._heap)
+            time, _seq, callback, handle = self._pop()
+            processed += 1
             self._now = time
             if not handle.cancelled:
                 callback()
-                processed += 1
 
     @property
     def pending_events(self) -> int:
-        """Scheduled (possibly cancelled) events still in the heap."""
-        return len(self._heap)
+        """Live (non-cancelled) events still awaiting execution."""
+        return len(self._heap) - self._cancelled

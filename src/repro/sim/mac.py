@@ -9,9 +9,19 @@ from the trace and any overlapping transmissions — is reported to the
 adapter as either feedback (with the receiver's interference-free BER
 and SNR estimates) or a silent loss.
 
+Backoff follows 802.11 freeze-and-resume semantics: a station draws
+its counter once per attempt and decrements it only across *idle*
+slots.  When the medium turns busy mid-countdown the remaining count
+is frozen and resumed — never redrawn — after the busy period (plus
+DIFS).  Counting happens on slot boundaries anchored at the end of
+the last busy period, so contenders share one slot grid: two counters
+reaching zero on the same boundary transmit simultaneously and
+collide, exactly as in the standard (and in the slot-synchronous
+engine, :mod:`repro.sim.slotmac`, which this MAC is the oracle for).
+
 Frames whose feedback shows failure are retransmitted with doubled
-contention window up to ``retry_limit`` attempts, after which they are
-dropped (TCP then sees the loss).
+contention window; a frame is dropped (TCP then sees the loss) once
+it has been transmitted ``retry_limit`` times in total.
 """
 
 from __future__ import annotations
@@ -29,6 +39,15 @@ from repro.sim.wireless import (FrameFate, MacFrame, Transmission,
 
 __all__ = ["MacConfig", "Station", "FrameLogEntry"]
 
+#: Tolerance when deciding whether a transmission seized the medium
+#: exactly on one of our slot boundaries (simultaneous start — we may
+#: still count that slot) or strictly inside a slot (the slot was cut:
+#: freeze without decrementing).  Stations sharing an anchor compute
+#: boundary times from identical float expressions, so genuinely
+#: simultaneous events compare exactly equal; anything farther apart
+#: than a nanosecond is a real mid-slot seizure.
+_BOUNDARY_EPS = 1e-9
+
 
 @dataclass(frozen=True)
 class MacConfig:
@@ -39,6 +58,8 @@ class MacConfig:
     difs: float = 34e-6
     cw_min: int = 15
     cw_max: int = 1023
+    #: total transmissions of one frame before it is dropped (the
+    #: first attempt counts: ``retry_limit=1`` never retransmits).
     retry_limit: int = 7
     queue_capacity: int = 50
     #: duration of the reserved feedback (ACK) slot at the lowest rate.
@@ -102,6 +123,10 @@ class Station:
         self._busy = False          # contending or transmitting
         self._retry = 0
         self._cw = config.cw_min
+        self._backoff = 0           # frozen/remaining backoff slots
+        self._anchor = 0.0          # slot grid origin (idle start)
+        self._boundary = 0          # slot boundaries since the anchor
+        self._attempt_no = 0        # lifetime transmission counter
         self._seq = 0
         self.frame_log: List[FrameLogEntry] = []
         self.delivered_frames = 0
@@ -128,28 +153,68 @@ class Station:
     # -- channel access -----------------------------------------------------
 
     def _begin_contention(self) -> None:
+        """Draw a fresh backoff for the head-of-line frame's attempt."""
         self._busy = True
-        backoff = int(self.rng.integers(0, self._cw + 1))
-        self._attempt_after(self.config.difs
-                            + backoff * self.config.slot_time)
+        self._backoff = int(self.rng.integers(0, self._cw + 1))
+        self._resume()
 
-    def _attempt_after(self, delay: float) -> None:
-        self.sim.schedule(delay, self._try_transmit)
+    def _resume(self) -> None:
+        """(Re)join the contention grid once the medium looks idle.
 
-    def _try_transmit(self) -> None:
-        frame = self.queue.peek()
-        if frame is None:
-            self._busy = False
+        If the medium is busy, sleep to the end of the reserved busy
+        period and try again (new transmissions may extend it); when
+        idle, anchor the slot grid here: boundary ``i`` falls at
+        ``anchor + (difs + i*slot)``, and the frozen counter resumes
+        counting from boundary 1 on.
+        """
+        now = self.sim.now
+        window = self.channel.busy_window(self.id, now)
+        if window is not None:
+            self.sim.schedule_at(window[1], self._resume)
             return
-        busy_until = self.channel.medium_busy_until(self.id, self.sim.now)
-        if busy_until is not None:
-            # Medium sensed busy: defer to its end, then re-contend.
-            backoff = int(self.rng.integers(0, self._cw + 1))
-            wait = max(busy_until - self.sim.now, 0.0) + self.config.difs \
-                + backoff * self.config.slot_time
-            self._attempt_after(wait)
+        self._anchor = now
+        self._boundary = 0
+        self.sim.schedule_at(
+            now + (self.config.difs
+                   + self._boundary * self.config.slot_time),
+            self._tick)
+
+    def _tick(self) -> None:
+        """One slot boundary on the contention grid.
+
+        Boundary 0 ends DIFS; boundary ``i`` ends the ``i``-th backoff
+        slot.  The counter decrements only when the slot just elapsed
+        was idle — a transmission that seized the medium *inside* the
+        slot freezes the counter as-is, while one starting exactly on
+        this boundary still grants the elapsed slot (and a counter
+        reaching zero here transmits simultaneously with it: a
+        collision, as in slotted CSMA).
+        """
+        now = self.sim.now
+        window = self.channel.busy_window(self.id, now)
+        if window is not None and window[0] < now - _BOUNDARY_EPS:
+            # The slot (or DIFS) was cut mid-way: freeze and resume.
+            self.sim.schedule_at(window[1], self._resume)
             return
-        self._transmit(frame)
+        if self._boundary > 0:
+            self._backoff -= 1
+        if self._backoff <= 0:
+            frame = self.queue.peek()
+            if frame is None:
+                self._busy = False
+                return
+            self._transmit(frame)
+            return
+        if window is not None:
+            # Someone seized the medium exactly on this boundary; the
+            # elapsed slot counted, the next one will not.
+            self.sim.schedule_at(window[1], self._resume)
+            return
+        self._boundary += 1
+        self.sim.schedule_at(
+            self._anchor + (self.config.difs
+                            + self._boundary * self.config.slot_time),
+            self._tick)
 
     def _transmit(self, frame: MacFrame) -> None:
         adapter = self.adapter(frame.dest)
@@ -158,17 +223,21 @@ class Station:
         airtime = self._airtime(frame.payload_bits, rate_index)
         start = self.sim.now
         overhead = self.config.rts_cts_overhead if use_rts else 0.0
+        done = overhead + airtime + self.config.sifs \
+            + self.config.feedback_duration
+        self._attempt_no += 1
         tx = Transmission(
             frame=frame, rate_index=rate_index, start=start + overhead,
             end=start + overhead + airtime,
             preamble_end=start + overhead + self.config.preamble_duration,
             postamble_start=start + overhead + airtime
             - self.config.postamble_duration,
-            rts_protected=use_rts)
+            rts_protected=use_rts,
+            reserved_start=start, reserved_until=start + done,
+            attempt=self._attempt_no)
         self.channel.begin_transmission(tx)
-        done = overhead + airtime + self.config.sifs \
-            + self.config.feedback_duration
-        self.sim.schedule(done, lambda: self._conclude(tx, airtime))
+        self.sim.schedule_at(tx.reserved_until,
+                             lambda: self._conclude(tx, airtime))
 
     # -- outcome handling -----------------------------------------------------
 
@@ -193,15 +262,12 @@ class Station:
             self._frame_done(success=True)
         else:
             self._retry += 1
-            if self._retry > self.config.retry_limit:
+            if self._retry >= self.config.retry_limit:
                 self.dropped_frames += 1
                 self._frame_done(success=False)
             else:
                 self._cw = min(2 * self._cw + 1, self.config.cw_max)
-                self._busy = True
-                backoff = int(self.rng.integers(0, self._cw + 1))
-                self._attempt_after(self.config.difs
-                                    + backoff * self.config.slot_time)
+                self._begin_contention()
 
     def _frame_done(self, success: bool) -> None:
         self.queue.pop()

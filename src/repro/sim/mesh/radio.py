@@ -45,10 +45,12 @@ import numpy as np
 from repro.channel.pathloss import LogDistancePathLoss
 from repro.channel.rayleigh import RayleighFadingProcess
 from repro.core.feedback import Feedback
+from repro.core.mix import mix64
 from repro.phy.backend import DETECTION_SNR_DB, get_backend
 from repro.phy.rates import RATE_TABLE, RateTable
 from repro.sim.mesh.geometry import MeshGeometry
-from repro.sim.wireless import COLLISION_BER, FrameFate, Transmission
+from repro.sim.wireless import (COLLISION_BER, FrameFate, Transmission,
+                                occupancy_window)
 from repro.traces.format import FrameObservation
 
 __all__ = ["MeshChannel", "RxBufferEntry"]
@@ -87,10 +89,11 @@ class MeshChannel:
 
     Args:
         geometry: node positions over time.
-        rng: random source (interference-detection coins, PHY outcome
-            draws).  Per-link shadowing and fading use their own
-            seed-derived generators so realisations are independent of
-            MAC event order.
+        rng: root random source of the per-attempt fate streams
+            (interference-detection coins, PHY outcome draws — see
+            :meth:`attempt_rng`).  Per-link shadowing and fading use
+            their own seed-derived generators, so like the fates they
+            are independent of MAC event order.
         phy_backend: backend instance or name (``"full"`` /
             ``"surrogate"``); a name is resolved against this
             channel's rate table.
@@ -143,6 +146,9 @@ class MeshChannel:
             raise ValueError("doppler_hz must be positive")
         self.geometry = geometry
         self.rng = rng
+        # Root of the per-attempt fate RNG streams (drawn first, so
+        # the channel's seed alone pins every fate stream).
+        self._fate_seed = int(rng.integers(0, 2 ** 63))
         self.rates = rates if rates is not None \
             else RATE_TABLE.prototype_subset()
         self.phy = get_backend(phy_backend, rates=self.rates)
@@ -247,22 +253,36 @@ class MeshChannel:
                 >= self.cs_threshold_snr_db)
         return tx.sensed_by[listener]
 
-    def medium_busy_until(self, listener: int, now: float
-                          ) -> Optional[float]:
-        """Latest end time of transmissions ``listener`` senses.
-
-        Returns ``None`` when the medium appears idle to ``listener``
-        — which it can while a *hidden* node is transmitting.
+    def busy_window(self, listener: int, now: float
+                    ) -> Optional[Tuple[float, float]]:
+        """The busy period ``listener`` currently senses, as a
+        ``(start, end)`` pair over the reserved occupancy of every
+        sensed in-flight transmission — or ``None`` when idle (which
+        it can be while a *hidden* node is transmitting).
         """
         self._prune(now)
-        busy_until = None
+        since = until = None
         for tx in self._active:
-            if tx.end <= now:
+            occ_start, occ_end = occupancy_window(tx)
+            if occ_end <= now:
                 continue
             if self._senses(listener, tx):
-                busy_until = tx.end if busy_until is None else max(
-                    busy_until, tx.end)
-        return busy_until
+                since = occ_start if since is None \
+                    else min(since, occ_start)
+                until = occ_end if until is None \
+                    else max(until, occ_end)
+        if until is None:
+            return None
+        return since, until
+
+    def medium_busy_until(self, listener: int, now: float
+                          ) -> Optional[float]:
+        """Latest reserved-occupancy end of sensed transmissions.
+
+        Returns ``None`` when the medium appears idle to ``listener``.
+        """
+        window = self.busy_window(listener, now)
+        return None if window is None else window[1]
 
     # -- transmission -------------------------------------------------------
 
@@ -286,7 +306,8 @@ class MeshChannel:
                     RxBufferEntry(tx=tx, rx_snr_db=rx_snr))
 
     def _prune(self, now: float, horizon: float = 0.1) -> None:
-        self._active = [t for t in self._active if t.end > now]
+        self._active = [t for t in self._active
+                        if occupancy_window(t)[1] > now]
         if len(self._history) > 4096:
             self._history = [t for t in self._history
                              if t.end > now - horizon]
@@ -322,13 +343,26 @@ class MeshChannel:
                 return True
         return False
 
-    def _observe(self, tx: Transmission) -> FrameObservation:
+    def attempt_rng(self, tx: Transmission) -> np.random.Generator:
+        """The fate RNG stream of one transmission attempt.
+
+        Derived from the channel's fate seed and the attempt's
+        identity ``(src, dest, attempt)`` — same contract as
+        :meth:`repro.sim.wireless.WirelessChannel.attempt_rng`, so
+        fates are independent of the order concurrent transmissions
+        conclude in.
+        """
+        return np.random.Generator(np.random.PCG64(mix64(
+            self._fate_seed, tx.frame.src, tx.frame.dest, tx.attempt)))
+
+    def _observe(self, tx: Transmission,
+                 rng: np.random.Generator) -> FrameObservation:
         """Clean-channel observation from the geometry-derived SNR
         trajectory, through the configured PHY backend."""
         trajectory = self.snr_trajectory(tx.frame.src, tx.frame.dest,
                                          tx.start, tx.end)
         out = self.phy.frame_outcome(tx.rate_index, trajectory,
-                                     tx.frame.payload_bits, self.rng,
+                                     tx.frame.payload_bits, rng,
                                      need_hints=False)
         return FrameObservation(
             detected=out.detected,
@@ -367,7 +401,8 @@ class MeshChannel:
             self.stats["silent"] += 1
             return FrameFate(kind="silent", delivered=False,
                              feedback=None, observation=None)
-        obs = self._observe(tx)
+        rng = self.attempt_rng(tx)
+        obs = self._observe(tx, rng)
         if not obs.detected:
             self.stats["silent"] += 1
             return FrameFate(kind="silent", delivered=False,
@@ -393,7 +428,7 @@ class MeshChannel:
             # body.  Frame lost, but the header decoded, so feedback
             # flows — flagged as interference with ``detect_prob``.
             self.stats["collided"] += 1
-            detected = bool(self.rng.random() < self.detect_prob)
+            detected = bool(rng.random() < self.detect_prob)
             if detected:
                 ber = obs.ber_est       # interference-free portion
             else:

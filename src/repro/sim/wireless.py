@@ -42,10 +42,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.feedback import Feedback
+from repro.core.mix import mix64
 from repro.traces.format import FrameObservation, LinkTrace
 
 __all__ = ["MacFrame", "Transmission", "FrameFate", "WirelessChannel",
-           "COLLISION_BER"]
+           "COLLISION_BER", "occupancy_window"]
 
 #: BER reported when a collision goes *undetected*: the receiver sees
 #: garbage over part of the frame and (wrongly) attributes it to the
@@ -67,7 +68,17 @@ class MacFrame:
 
 @dataclass
 class Transmission:
-    """An in-flight frame."""
+    """An in-flight frame.
+
+    ``start``/``end`` bound the frame body's airtime (what the
+    collision geometry runs on); ``reserved_start``/``reserved_until``
+    bound the full medium occupancy the MAC reserves around it — any
+    RTS/CTS exchange before the body plus the SIFS + feedback slot
+    after it.  Carrier sense keys on the reserved window, so a
+    contender never counts down through another station's ACK slot.
+    When the reserved bounds are ``None`` (transmissions built outside
+    the MAC, e.g. in channel-level tests) the body airtime is used.
+    """
 
     frame: MacFrame
     rate_index: int
@@ -76,8 +87,21 @@ class Transmission:
     preamble_end: float
     postamble_start: float
     rts_protected: bool = False
+    #: full medium reservation around the body (None = body airtime).
+    reserved_start: Optional[float] = None
+    reserved_until: Optional[float] = None
+    #: the sender's monotonically increasing attempt number — the
+    #: order-independent key of the per-attempt fate RNG stream.
+    attempt: int = 0
     #: carrier-sense samples, keyed by observing station id.
     sensed_by: Dict[int, bool] = field(default_factory=dict)
+
+
+def occupancy_window(tx: Transmission) -> Tuple[float, float]:
+    """The ``[start, end)`` interval ``tx`` keeps the medium busy."""
+    start = tx.start if tx.reserved_start is None else tx.reserved_start
+    end = tx.end if tx.reserved_until is None else tx.reserved_until
+    return start, end
 
 
 @dataclass(frozen=True)
@@ -112,8 +136,8 @@ class WirelessChannel:
     Args:
         traces: map from ``(src, dest)`` station-id pairs to the
             :class:`LinkTrace` modelling that unidirectional link.
-        rng: random source (collision-detection coin flips, carrier
-            sense sampling).
+        rng: random source (carrier-sense sampling, and the root seed
+            of the per-attempt fate streams — see :meth:`attempt_rng`).
         detect_prob: probability the SoftPHY interference detector
             flags a collided frame (paper section 6.4: 0.8 measured,
             1.0 for the ideal variant).
@@ -147,6 +171,9 @@ class WirelessChannel:
         self.phy_backend = phy_backend
         self.traces = dict(traces)
         self.rng = rng
+        # Root of the per-attempt fate RNG streams (drawn first, so
+        # the channel's seed alone pins every fate stream).
+        self._fate_seed = int(rng.integers(0, 2 ** 63))
         self.detect_prob = detect_prob
         self.use_postambles = use_postambles
         self._cs_prob = carrier_sense_prob or (lambda a, b: 1.0)
@@ -167,25 +194,49 @@ class WirelessChannel:
             return True
         if listener not in transmission.sensed_by:
             p = self._cs_prob(listener, transmission.frame.src)
-            transmission.sensed_by[listener] = bool(
-                self.rng.random() < p)
+            if p >= 1.0:
+                sensed = True           # certain: skip the coin flip
+            elif p <= 0.0:
+                sensed = False
+            else:
+                sensed = bool(self.rng.random() < p)
+            transmission.sensed_by[listener] = sensed
         return transmission.sensed_by[listener]
+
+    def busy_window(self, listener: int, now: float
+                    ) -> Optional[Tuple[float, float]]:
+        """The busy period ``listener`` currently senses, as a
+        ``(start, end)`` pair over the reserved occupancy of every
+        sensed in-flight transmission — or ``None`` when idle.
+
+        ``start`` is when the earliest sensed transmission seized the
+        medium (so a backoff tick can tell "busy since exactly this
+        slot boundary" from "busy since mid-slot"); ``end`` is when
+        the last one releases it, feedback slot included.
+        """
+        self._prune(now)
+        since = until = None
+        for tx in self._active:
+            occ_start, occ_end = occupancy_window(tx)
+            if occ_end <= now:
+                continue
+            if self._senses(listener, tx):
+                since = occ_start if since is None \
+                    else min(since, occ_start)
+                until = occ_end if until is None \
+                    else max(until, occ_end)
+        if until is None:
+            return None
+        return since, until
 
     def medium_busy_until(self, listener: int, now: float
                           ) -> Optional[float]:
-        """Latest end time of transmissions ``listener`` senses.
+        """Latest reserved-occupancy end of sensed transmissions.
 
         Returns ``None`` when the medium appears idle to ``listener``.
         """
-        self._prune(now)
-        busy_until = None
-        for tx in self._active:
-            if tx.end <= now:
-                continue
-            if self._senses(listener, tx):
-                busy_until = tx.end if busy_until is None else max(
-                    busy_until, tx.end)
-        return busy_until
+        window = self.busy_window(listener, now)
+        return None if window is None else window[1]
 
     # -- transmission ------------------------------------------------------
 
@@ -195,7 +246,8 @@ class WirelessChannel:
         self._history.append(transmission)
 
     def _prune(self, now: float, horizon: float = 0.1) -> None:
-        self._active = [t for t in self._active if t.end > now]
+        self._active = [t for t in self._active
+                        if occupancy_window(t)[1] > now]
         if len(self._history) > 4096:
             self._history = [t for t in self._history
                              if t.end > now - horizon]
@@ -234,28 +286,68 @@ class WirelessChannel:
         except KeyError:
             raise KeyError(f"no trace for link {src} -> {dest}") from None
 
-    def _observe(self, trace: LinkTrace, tx: Transmission
-                 ) -> FrameObservation:
+    def attempt_rng(self, tx: Transmission) -> np.random.Generator:
+        """The fate RNG stream of one transmission attempt.
+
+        Derived from the channel's fate seed and the attempt's
+        identity ``(src, dest, attempt)``, never from shared mutable
+        state — so a frame's fate draws (backend observation noise,
+        the interference-detection coin) do not depend on the order
+        concurrent transmissions happen to conclude in.  This is what
+        lets the slot-synchronous engine (:mod:`repro.sim.slotmac`)
+        reproduce the event-driven MAC's frame logs bit-for-bit.
+
+        The key is splitmix64-mixed straight into a PCG64 seed rather
+        than routed through ``default_rng``'s SeedSequence pooling:
+        one generator is built per transmission, and the pooling alone
+        costs more than the handful of draws a fate needs.
+        """
+        return np.random.Generator(np.random.PCG64(mix64(
+            self._fate_seed, tx.frame.src, tx.frame.dest, tx.attempt)))
+
+    def _observe(self, trace: LinkTrace, tx: Transmission,
+                 rng: np.random.Generator) -> FrameObservation:
         """Clean-channel observation: precomputed or backend-computed."""
         if self.phy_backend is None:
             return trace.observe(tx.start, tx.rate_index)
         return self.phy_backend.observe(trace, tx.start, tx.rate_index,
-                                        tx.frame.payload_bits, self.rng)
+                                        tx.frame.payload_bits, rng)
 
     def conclude_transmission(self, tx: Transmission) -> FrameFate:
         """Compute the fate of ``tx`` (called by the MAC at t=end)."""
-        trace = self._trace_for(tx.frame.src, tx.frame.dest)
         overlapping = self._overlapping(tx)
+        return self.resolve_fate(tx, overlapping,
+                                 receiver_deaf=self._receiver_deaf(tx))
+
+    def resolve_fate(self, tx: Transmission,
+                     overlapping: List[Transmission],
+                     receiver_deaf: bool = False) -> FrameFate:
+        """The section 3.2 fate taxonomy, given the overlap set.
+
+        The single entry point both MAC engines share: the
+        event-driven MAC reaches it through
+        :meth:`conclude_transmission` (overlaps scanned from history),
+        the slot-synchronous engine passes the slot's co-winners
+        directly.  Randomness comes from :meth:`attempt_rng`, so the
+        fate depends only on the transmission itself and its overlap
+        set — never on global processing order.
+        """
+        trace = self._trace_for(tx.frame.src, tx.frame.dest)
         if tx.rts_protected:
             overlapping = []        # the exchange reserved the medium
 
-        if self._receiver_deaf(tx):
+        if receiver_deaf:
             # The receiver never listened: skip the (possibly
             # expensive backend-computed) channel observation.
             self.stats["silent"] += 1
             return FrameFate(kind="silent", delivered=False,
                              feedback=None, observation=None)
-        obs = self._observe(trace, tx)
+        # Building a generator costs more than most fates' draws: with
+        # precomputed trace fates only the collided branch ever draws,
+        # so the stream is materialized lazily.
+        rng = self.attempt_rng(tx) if self.phy_backend is not None \
+            else None
+        obs = self._observe(trace, tx, rng)
         if not obs.detected:
             self.stats["silent"] += 1
             return FrameFate(kind="silent", delivered=False,
@@ -276,7 +368,9 @@ class WirelessChannel:
             # body.  Frame lost (paper: colliding frames are lost), but
             # the header decoded, so feedback flows.
             self.stats["collided"] += 1
-            detected = bool(self.rng.random() < self.detect_prob)
+            if rng is None:
+                rng = self.attempt_rng(tx)
+            detected = bool(rng.random() < self.detect_prob)
             if detected:
                 ber = obs.ber_est       # interference-free portion
             else:

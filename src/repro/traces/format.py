@@ -18,6 +18,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.mix import uniform01
+
 __all__ = ["FrameObservation", "LinkTrace"]
 
 
@@ -155,10 +157,10 @@ class LinkTrace:
         elif loss_p >= 1.0:
             delivered = False
         else:
-            # Deterministic hash of (slot, rate, 100 ns-quantised time).
-            key = (slot * 1_000_003 + rate_index * 10_007
-                   + int(round(time * 1e7))) & 0xFFFFFFFF
-            draw = np.random.default_rng(key).random()
+            # Keyed deterministic draw on (slot, rate, 100 ns-quantised
+            # time) — a hash, not a Generator, as this is a per-frame
+            # hot path (see repro.core.mix).
+            draw = uniform01(slot, rate_index, int(round(time * 1e7)))
             delivered = draw >= loss_p
         return FrameObservation(
             detected=detected,

@@ -57,5 +57,29 @@ class TestStockDefinitions:
     def test_stock_campaigns_are_surrogate_backed(self):
         for matrix in list_campaigns():
             if matrix.name in ("smoke-tiny", "paper-matrix",
-                               "contention-scale"):
+                               "contention-scale", "contention-xl"):
                 assert matrix.base["phy_backend"] == "surrogate"
+
+    def test_contention_xl_rides_the_slot_engine(self):
+        matrix = get_campaign("contention-xl")
+        assert matrix.base["mac_engine"] == "slot"
+        assert matrix.base["workload"] == "mac"
+        n_axis = {a.name: a for a in matrix.axes}["n_clients"]
+        assert max(n_axis.values) >= 1000
+        assert matrix.total_scenarios() >= 16
+
+    def test_contention_xl_scenarios_expand_runnable(self):
+        """Every expanded scenario carries the engine/workload keys a
+        worker needs — and the first one actually runs end to end."""
+        from repro.experiments.api import execute_task
+
+        matrix = get_campaign("contention-xl")
+        scenarios = matrix.expand()
+        for scenario in scenarios:
+            assert scenario.params["mac_engine"] == "slot"
+            assert scenario.params["workload"] == "mac"
+        small = dict(scenarios[0].params)
+        small["n_clients"] = 3    # keep CI cheap; same code path
+        result = execute_task(scenarios[0].experiment,
+                              scenarios[0].module, small)
+        assert result["n_frames"] > 0

@@ -1,0 +1,57 @@
+"""Tests for the keyed splitmix64 hash (:mod:`repro.core.mix`).
+
+``mix64``/``uniform01`` replace per-draw ``default_rng`` construction
+on per-frame hot paths (trace fate draws, per-attempt fate streams),
+so what matters is determinism, key sensitivity, and that the unit
+draws look uniform enough to stand in for ``Generator.random()``.
+"""
+
+import numpy as np
+
+from repro.core.mix import mix64, uniform01
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(1, 2, 3) == mix64(1, 2, 3)
+
+    def test_key_sensitive(self):
+        baseline = mix64(1, 2, 3)
+        assert mix64(1, 2, 4) != baseline
+        assert mix64(0, 2, 3) != baseline
+
+    def test_order_sensitive(self):
+        assert mix64(1, 2) != mix64(2, 1)
+
+    def test_arity_sensitive(self):
+        assert mix64(1) != mix64(1, 0)
+
+    def test_stays_in_64_bits(self):
+        for args in [(0,), (2**64 - 1,), (2**70, 3), (-1,), (-5, 7)]:
+            value = mix64(*args)
+            assert 0 <= value < 2**64
+
+    def test_negative_keys_fold_to_two_complement(self):
+        # Python ints are masked to 64 bits, so -1 keys like 2^64-1.
+        assert mix64(-1) == mix64(2**64 - 1)
+
+    def test_avalanche(self):
+        """Flipping one input bit flips roughly half the output."""
+        flips = [bin(mix64(x) ^ mix64(x ^ 1)).count("1")
+                 for x in range(0, 4096, 64)]
+        assert 16 < np.mean(flips) < 48
+
+
+class TestUniform01:
+    def test_unit_interval(self):
+        draws = [uniform01(i, 7) for i in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_deterministic(self):
+        assert uniform01(3, 1, 4) == uniform01(3, 1, 4)
+
+    def test_roughly_uniform(self):
+        draws = np.array([uniform01(i) for i in range(4000)])
+        assert abs(draws.mean() - 0.5) < 0.03
+        counts, _ = np.histogram(draws, bins=10, range=(0.0, 1.0))
+        assert counts.min() > 4000 / 10 * 0.7

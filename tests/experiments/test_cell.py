@@ -78,6 +78,44 @@ class TestCellMetrics:
         assert hidden["loss_rate"] > sensing["loss_rate"]
 
 
+class TestMacWorkload:
+    _MAC = dict(duration=0.05, n_clients=3, trace_pool=2,
+                workload="mac")
+
+    def test_mac_workload_returns_same_metric_keys(self):
+        tcp = run_cell(**_FAST)
+        mac = run_cell(**self._MAC)
+        assert set(mac) == set(tcp)
+        assert mac["n_frames"] > 0
+
+    def test_engines_agree_through_the_cell(self):
+        event = run_cell(mac_engine="event", **self._MAC)
+        slot = run_cell(mac_engine="slot", **self._MAC)
+        assert _norm(event) == _norm(slot)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            run_cell(workload="bogus", **_FAST)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="mac_engine"):
+            run_cell(mac_engine="bogus", **_FAST)
+
+    def test_slot_engine_requires_mac_workload(self):
+        with pytest.raises(ValueError, match="slot"):
+            run_cell(mac_engine="slot", **_FAST)
+
+    def test_slot_engine_rejects_partial_sensing(self):
+        with pytest.raises(ValueError, match="carrier sense"):
+            run_cell(mac_engine="slot", carrier_sense_prob=0.5,
+                     **self._MAC)
+
+    def test_payload_bits_reaches_the_mac(self):
+        small = run_cell(**self._MAC)
+        large = run_cell(payload_bits=4 * 368, **self._MAC)
+        assert large["mbps"] > small["mbps"]
+
+
 class TestCellRegistration:
     def test_registered_with_seed_param(self):
         spec = get_experiment("cell")

@@ -106,13 +106,15 @@ MAC_CONFIG = {
     "mean_snr_db": 14.0,
     "protocols": ["softrate", "rraa", "samplerate"],
     "backends": ["surrogate", "full"],
+    "engines": ["event", "slot"],
 }
 
 
-def compute_mac_point(config, backend, protocol):
-    """One (backend, protocol) throughput point of the MAC golden."""
+def compute_mac_point(config, backend, protocol, engine="event"):
+    """One (backend, protocol, engine) point of the MAC golden."""
     from repro.analysis.metrics import frame_log_digest
     from repro.experiments.common import protocol_factory
+    from repro.sim.slotmac import run_slot_contention
     from repro.sim.topology import run_mac_contention
     from repro.traces.workloads import static_short_range_traces
 
@@ -120,7 +122,9 @@ def compute_mac_point(config, backend, protocol):
         config["n_clients"], duration=config["trace_duration"],
         mean_snr_db=config["mean_snr_db"], seed=config["trace_seed"],
         payload_bits=config["payload_bits"])
-    result = run_mac_contention(
+    run_contention = run_mac_contention if engine == "event" \
+        else run_slot_contention
+    result = run_contention(
         traces, protocol_factory(protocol),
         n_clients=config["n_clients"], duration=config["duration"],
         payload_bits=config["payload_bits"], seed=config["seed"],
@@ -138,9 +142,12 @@ def compute_mac(config):
     points = {}
     for backend in config["backends"]:
         for protocol in config["protocols"]:
-            print(f"  mac: {backend}/{protocol} ...", flush=True)
-            points[f"{backend}/{protocol}"] = \
-                compute_mac_point(config, backend, protocol)
+            for engine in config.get("engines", ["event"]):
+                print(f"  mac: {backend}/{protocol}/{engine} ...",
+                      flush=True)
+                points[f"{backend}/{protocol}/{engine}"] = \
+                    compute_mac_point(config, backend, protocol,
+                                      engine)
     return points
 
 

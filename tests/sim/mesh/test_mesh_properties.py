@@ -42,9 +42,12 @@ def run(n_relays, ttl, speed, sigma, seed, duration=0.03):
 def test_ttl_bound_always_respected(n_relays, ttl, speed, sigma, seed):
     result = run(n_relays, ttl, speed, sigma, seed)
     assert all(hops <= ttl for _, hops in result.delivered)
-    # And the TTL accounting is conservative: packets that need more
-    # hops than the TTL allows never arrive at all.
-    if ttl < n_relays:
+    # And the TTL accounting is conservative: without shadowing the
+    # client associates with its nearest relay, so packets that need
+    # more hops than the TTL allows never arrive at all.  (Shadowing
+    # can make the *sink itself* the strongest AP, legitimately
+    # delivering in a single hop whatever n_relays is.)
+    if ttl < n_relays and sigma == 0.0 and speed == 0.0:
         assert result.delivered == []
 
 

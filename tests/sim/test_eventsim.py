@@ -78,6 +78,35 @@ class TestCancellation:
         assert seen == ["x"]
 
 
+class TestCancelledAccounting:
+    def test_max_events_bounds_cancelled_heap(self):
+        # A heap stuffed with cancelled events must not defeat the
+        # max_events bound: popped entries count, cancelled or not.
+        sim = Simulator()
+        fired = []
+        for _ in range(100):
+            sim.schedule(1.0, lambda: fired.append("x")).cancel()
+        sim.schedule(2.0, lambda: fired.append("live"))
+        sim.run(max_events=50)
+        assert fired == []          # bound hit while draining cancels
+        sim.run(max_events=100)
+        assert fired == ["live"]
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        live = [sim.schedule(1.0, lambda: None) for _ in range(3)]
+        dead = [sim.schedule(1.0, lambda: None) for _ in range(5)]
+        for handle in dead:
+            handle.cancel()
+        assert sim.pending_events == 3
+        live[0].cancel()
+        assert sim.pending_events == 2
+        live[0].cancel()            # double-cancel must not double-count
+        assert sim.pending_events == 2
+        sim.run_until(2.0)
+        assert sim.pending_events == 0
+
+
 class TestRun:
     def test_run_drains_queue(self):
         sim = Simulator()

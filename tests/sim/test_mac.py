@@ -84,8 +84,23 @@ class TestRetries:
         sim.run_until(0.5)
         assert delivered == []
         assert senders[1].dropped_frames == 1
-        # retry_limit retries + the original attempt.
-        assert len(senders[1].frame_log) == 4
+        # Exactly retry_limit transmissions in total, then the drop.
+        assert len(senders[1].frame_log) == 3
+
+    def test_attempt_count_matches_retry_limit(self):
+        # Pin the retry accounting: a frame that never delivers is
+        # transmitted exactly ``retry_limit`` times — no off-by-one
+        # extra attempt — and the logged retry indices are 0..limit-1.
+        for limit in (1, 2, 5):
+            config = MacConfig(retry_limit=limit)
+            sim, _ch, _ap, senders, _d = _network(
+                best_rate=2, adapter_rate=5, config=config)
+            senders[1].send(0, "x", 11200)
+            sim.run_until(0.5)
+            log = senders[1].frame_log
+            assert len(log) == limit
+            assert [e.retry for e in log] == list(range(limit))
+            assert senders[1].dropped_frames == 1
 
     def test_next_frame_sent_after_drop(self):
         config = MacConfig(retry_limit=2)
@@ -95,7 +110,7 @@ class TestRetries:
         senders[1].send(0, "second", 11200)
         sim.run_until(0.5)
         assert senders[1].dropped_frames == 2
-        assert len(senders[1].frame_log) == 6
+        assert len(senders[1].frame_log) == 4
 
 
 class TestContention:
@@ -105,8 +120,10 @@ class TestContention:
             senders[1].send(0, ("s1", i), 11200)
             senders[2].send(0, ("s2", i), 11200)
         sim.run_until(1.0)
-        assert channel.stats["collided"] == 0 or \
-            channel.stats["collided"] <= 1    # backoff ties are rare
+        # With perfect carrier sense the only collisions are exact
+        # backoff ties on the shared slot grid — rare, and always
+        # recovered by retransmission.
+        assert channel.stats["collided"] <= 8
         assert len(delivered) >= 18
 
     def test_hidden_terminals_collide(self):
@@ -119,6 +136,35 @@ class TestContention:
         collisions = channel.stats["collided"] + \
             channel.stats["silent"] + channel.stats["postamble"]
         assert collisions > 5
+
+    def test_backoff_freezes_and_resumes(self):
+        # 802.11 freeze-and-resume: the loser of the first contention
+        # round must *resume* its frozen counter after the winner's
+        # reservation ends — not redraw a fresh one.
+        class ScriptedRng:
+            def __init__(self, draws):
+                self._draws = iter(draws)
+
+            def integers(self, low, high):
+                return next(self._draws)
+
+        sim, channel, _ap, senders, delivered = _network()
+        senders[1].rng = ScriptedRng([2])    # wins at boundary 2
+        senders[2].rng = ScriptedRng([5])    # freezes with 3 left
+        senders[1].send(0, "a", 11200)
+        senders[2].send(0, "b", 11200)
+        sim.run_until(0.1)
+        assert len(delivered) == 2
+        cfg = senders[1].config
+        first, second = channel._history
+        assert first.frame.src == 1
+        assert first.reserved_start == pytest.approx(
+            cfg.difs + 2 * cfg.slot_time)
+        # The loser counted 2 of its 5 slots before freezing, so it
+        # resumes after the winner's reservation with exactly 3 left.
+        assert second.frame.src == 2
+        assert second.reserved_start == pytest.approx(
+            first.reserved_until + cfg.difs + 3 * cfg.slot_time)
 
     def test_medium_busy_defers(self):
         # With carrier sense, transmissions must not overlap in time.

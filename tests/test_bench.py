@@ -116,3 +116,21 @@ class TestCommittedBaselines:
         for key in baseline["gate"]:
             assert float(baseline["metrics"][key]) > 0.0
         assert baseline["config"]
+
+    def test_slot_engine_speedup_meets_the_bar(self):
+        """The committed MAC-engine series must show the slot engine
+        at >= 10x the event-driven oracle on the 50-station cell —
+        the scale claim ``contention-xl`` rests on."""
+        import os
+
+        root = os.path.join(os.path.dirname(
+            os.path.abspath(__file__)), "..")
+        with open(os.path.join(root,
+                               bench.CAMPAIGN_BENCH_FILE)) as fh:
+            baseline = json.load(fh)
+        assert "slot_vs_event_speedup" in baseline["gate"]
+        metrics = baseline["metrics"]
+        assert float(metrics["slot_vs_event_speedup"]) >= 10.0
+        assert float(metrics["slot_station_seconds_per_sec"]) > \
+            float(metrics["event_station_seconds_per_sec"])
+        assert baseline["config"]["engine_n_clients"] == 50

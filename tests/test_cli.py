@@ -54,20 +54,38 @@ class TestSimulate:
         assert main(["simulate", "--duration", "1.0",
                      "--protocol", "softrate"]) == 0
         out = capsys.readouterr().out
-        assert "softrate:" in out
+        assert "softrate [tcp]:" in out
         assert "Mbps" in out
 
     def test_charm_protocol_reachable(self, capsys):
         assert main(["simulate", "--duration", "0.5",
                      "--protocol", "charm"]) == 0
         out = capsys.readouterr().out
-        assert "charm:" in out
+        assert "charm [tcp]:" in out
 
     def test_snr_untrained_protocol_reachable(self, capsys):
         assert main(["simulate", "--duration", "0.5",
                      "--protocol", "snr-untrained"]) == 0
         out = capsys.readouterr().out
-        assert "snr-untrained:" in out
+        assert "snr-untrained [tcp]:" in out
+
+    def test_mac_workload_on_both_engines(self, capsys):
+        outputs = {}
+        for engine in ("event", "slot"):
+            assert main(["simulate", "--workload", "mac",
+                         "--engine", engine, "--clients", "3",
+                         "--duration", "0.05",
+                         "--protocol", "softrate"]) == 0
+            out = capsys.readouterr().out
+            assert f"softrate [mac/{engine}]:" in out
+            outputs[engine] = out.split(":", 1)[1]
+        # Same scenario, same numbers, whichever engine ran it.
+        assert outputs["event"] == outputs["slot"]
+
+    def test_slot_engine_requires_mac_workload(self, capsys):
+        with pytest.raises(SystemExit, match="workload"):
+            main(["simulate", "--engine", "slot",
+                  "--duration", "0.05"])
 
 
 class TestProtocolChoices:

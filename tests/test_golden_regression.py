@@ -111,8 +111,9 @@ def _mac_point_ids():
 def test_mac_throughput_point_matches_golden(mac_golden, point):
     """MAC-level golden: a contention scenario's throughput, frame
     counts and exact frame-log digest are pinned per (backend,
-    protocol) — a MAC, rate-adaptation or backend refactor cannot
-    silently shift the paper's contention results."""
+    protocol, engine) — a MAC, rate-adaptation or backend refactor
+    cannot silently shift the paper's contention results, on either
+    the event-driven or the slot-synchronous engine."""
     import sys
 
     sys.path.insert(0, os.path.join(os.path.dirname(
@@ -122,9 +123,12 @@ def test_mac_throughput_point_matches_golden(mac_golden, point):
     finally:
         sys.path.pop(0)
 
-    backend, protocol = point.split("/")
+    parts = point.split("/")
+    backend, protocol = parts[0], parts[1]
+    engine = parts[2] if len(parts) > 2 else "event"
     want = mac_golden["points"][point]
-    got = compute_mac_point(mac_golden["config"], backend, protocol)
+    got = compute_mac_point(mac_golden["config"], backend, protocol,
+                            engine)
     assert got["per_client_frames"] == want["per_client_frames"], \
         f"{point}: delivered frame counts shifted"
     assert got["n_attempts"] == want["n_attempts"], \
