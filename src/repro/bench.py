@@ -8,7 +8,10 @@ scale story rests on and writes them to repo-root JSON files:
   speedup ratios.
 * ``BENCH_campaigns.json`` — campaign engine throughput: smoke-tiny
   scenarios/hour, plus the orchestration-efficiency ratio (campaign
-  wall time vs the same cells run bare), plus the MAC-engine series:
+  wall time vs the same cells run bare), the supervision series (the
+  same pooled campaign with and without the per-scenario watchdog,
+  gated as ``supervision_efficiency`` — fault tolerance must stay
+  near-free on the happy path), plus the MAC-engine series:
   station-seconds simulated per wall second for the event-driven
   oracle and the slot-synchronous engine on the same saturated
   50-station cell, and their ratio (``slot_vs_event_speedup``).
@@ -43,7 +46,7 @@ CAMPAIGN_BENCH_FILE = "BENCH_campaigns.json"
 DEFAULT_TOLERANCE = 0.10
 
 _PHY_SCHEMA = "repro-bench-phy/1"
-_CAMPAIGN_SCHEMA = "repro-bench-campaigns/2"
+_CAMPAIGN_SCHEMA = "repro-bench-campaigns/3"
 
 #: Measurement recipe embedded in BENCH_phy.json.
 DEFAULT_PHY_CONFIG = {
@@ -74,6 +77,11 @@ DEFAULT_CAMPAIGN_CONFIG = {
     "engine_n_clients": 50,
     "engine_duration": 0.5,
     "engine_trace_pool": 8,
+    # Supervision series: the same pooled campaign with and without
+    # the per-scenario watchdog (timeouts + retry bookkeeping).
+    "supervised_jobs": 2,
+    "supervised_timeout_s": 120.0,
+    "supervised_retries": 2,
 }
 
 
@@ -171,6 +179,13 @@ def measure_campaigns(config: Optional[dict] = None
     negligible; this ratio, not the machine-bound scenarios/hour, is
     what the regression gate watches.
 
+    Also measures the *supervision series* (``supervised_*`` config
+    keys): the same campaign over a worker pool with and without the
+    per-scenario watchdog (``timeout_s``/retries).  The gated ratio
+    ``supervision_efficiency`` — unwatched pool wall time over
+    supervised wall time — pins that fault tolerance stays near-free
+    when nothing faults.
+
     Also measures the MAC-engine series (see the ``engine_*`` config
     keys): wall time for the same saturated cell on the event-driven
     oracle vs the slot-synchronous engine, reported as
@@ -216,6 +231,28 @@ def measure_campaigns(config: Optional[dict] = None
                 f"benchmark campaign incomplete: {status.completed}/"
                 f"{len(scenarios)} scenarios")
 
+    # Supervision series: identical pooled runs, watchdog off vs on.
+    def pooled_run(timeout_s: Optional[float]) -> float:
+        import tempfile as _tempfile
+        with _tempfile.TemporaryDirectory() as cache:
+            runner = CampaignRunner(
+                jobs=int(cfg.get("supervised_jobs", 2)),
+                cache_dir=cache, timeout_s=timeout_s,
+                max_retries=int(cfg.get("supervised_retries", 2)))
+            start = time.perf_counter()
+            result = runner.run(matrix)
+            elapsed = time.perf_counter() - start
+        if result.completed != len(scenarios):
+            raise RuntimeError(
+                f"benchmark campaign incomplete: {result.completed}/"
+                f"{len(scenarios)} scenarios")
+        return elapsed
+
+    pool_s = min(pooled_run(None) for _ in range(max(repeats, 1)))
+    supervised_s = min(
+        pooled_run(float(cfg.get("supervised_timeout_s", 120.0)))
+        for _ in range(max(repeats, 1)))
+
     # MAC-engine series: the same saturated cell on the event-driven
     # oracle and the slot-synchronous engine.  The digests must match
     # — a speedup over an engine computing something different would
@@ -250,6 +287,9 @@ def measure_campaigns(config: Optional[dict] = None
         "campaign_wall_s": campaign_s,
         "bare_cells_wall_s": bare_s,
         "orchestration_efficiency": bare_s / campaign_s,
+        "pool_wall_s": pool_s,
+        "supervised_wall_s": supervised_s,
+        "supervision_efficiency": pool_s / supervised_s,
         "event_station_seconds_per_sec": station_seconds / event_s,
         "slot_station_seconds_per_sec": station_seconds / slot_s,
         "slot_vs_event_speedup": event_s / slot_s,
@@ -262,6 +302,7 @@ _SUITES = {
     "campaigns": (CAMPAIGN_BENCH_FILE, _CAMPAIGN_SCHEMA,
                   DEFAULT_CAMPAIGN_CONFIG, measure_campaigns,
                   ("orchestration_efficiency",
+                   "supervision_efficiency",
                    "slot_vs_event_speedup")),
 }
 

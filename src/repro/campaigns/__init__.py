@@ -19,11 +19,21 @@ Entry points::
     runner.run(matrix)                          # resumable
     runner.report(matrix, group_by=["protocol", "n_clients"])
 
-The CLI mirrors this as ``repro campaign run/status/report``; see
-``docs/campaigns.md`` for authoring matrices.
+Execution is *supervised*: per-scenario wall-clock timeouts, seeded
+retry backoff, quarantine for poison scenarios, and per-record CRC
+integrity on the checkpoint store — with a deterministic
+fault-injection harness (:mod:`repro.campaigns.faults`) proving the
+recovery guarantees.  See ``docs/resilience.md``.
+
+The CLI mirrors this as ``repro campaign
+run/status/report/verify/chaos``; see ``docs/campaigns.md`` for
+authoring matrices.
 """
 
-from repro.campaigns.checkpoint import CampaignStore
+from repro.campaigns.checkpoint import (CampaignStore,
+                                        CheckpointCorruptionWarning)
+from repro.campaigns.faults import (FaultInjectedError, FaultPlan,
+                                    FaultSpec, chaos_wall)
 from repro.campaigns.matrix import (Axis, CampaignError, CampaignMatrix,
                                     CampaignScenario, RandomAxis,
                                     derive_scenario_seed)
@@ -33,5 +43,7 @@ from repro.campaigns.stock import (campaign_names, get_campaign,
 
 __all__ = ["Axis", "RandomAxis", "CampaignMatrix", "CampaignScenario",
            "CampaignError", "CampaignStore", "CampaignRunner",
-           "CampaignStatus", "derive_scenario_seed", "get_campaign",
+           "CampaignStatus", "CheckpointCorruptionWarning",
+           "FaultInjectedError", "FaultPlan", "FaultSpec",
+           "chaos_wall", "derive_scenario_seed", "get_campaign",
            "campaign_names", "list_campaigns", "register_campaign"]

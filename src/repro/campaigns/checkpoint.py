@@ -9,6 +9,9 @@ by the matrix's content digest, holding:
   (one per shard spec) appends to its own file, and readers union all
   of them, deduplicating by scenario id — which is safe precisely
   because scenario execution is deterministic.
+* ``quarantine.jsonl`` — scenarios the supervised runner gave up on
+  after exhausting retries, with their captured tracebacks (see
+  :mod:`repro.campaigns.runner`).
 * ``summary.json`` — the tidy report (written by ``report``).
 
 A killed run loses only the scenarios whose records had not yet been
@@ -20,18 +23,45 @@ disk.  Completed-scenario records survive any
 interruption, and the eventual aggregate is byte-identical to an
 uninterrupted run because records carry only deterministic content
 (timings are stored but excluded from summaries).
+
+**Integrity**: every record carries a ``crc`` field — a CRC-32 of its
+canonical JSON minus the field itself — so bit rot, partial flushes
+and editor accidents are *detected*, not silently aggregated.
+:meth:`CampaignStore.scan` classifies every damaged line (torn tail,
+invalid JSON, schema violation, CRC mismatch); the loader skips
+damaged records with a :class:`CheckpointCorruptionWarning`, which
+requeues the affected scenario on the next run instead of crashing
+it.  ``repro campaign verify`` exposes the same scan on the CLI.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import IO, Any, Dict, List, Optional
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, List, Optional, Tuple
 
 from repro.experiments.api import (_canonical, _decode_metrics,
                                    _canonical_json)
 
-__all__ = ["CampaignStore", "make_record", "write_json_atomic"]
+__all__ = ["CampaignStore", "CheckpointCorruptionWarning",
+           "CheckpointIssue", "make_record", "record_crc",
+           "write_json_atomic"]
+
+#: Keys every checkpoint record must carry to be loadable.
+_REQUIRED_KEYS = ("scenario_id", "index", "seed", "params", "metrics",
+                  "elapsed_s")
+
+
+class CheckpointCorruptionWarning(UserWarning):
+    """A damaged (non-torn) checkpoint record was skipped.
+
+    The affected scenario is simply requeued — determinism makes
+    recomputation safe — but corruption is worth a warning where a
+    torn trailing line (the expected kill artifact) is not.
+    """
 
 
 def write_json_atomic(path: str, payload: Any) -> None:
@@ -44,10 +74,20 @@ def write_json_atomic(path: str, payload: Any) -> None:
     os.replace(tmp, path)
 
 
+def record_crc(record: Dict[str, Any]) -> str:
+    """CRC-32 (8 hex chars) of a record's canonical JSON, excluding
+    any ``crc`` field — the value :func:`make_record` embeds and
+    :meth:`CampaignStore.scan` verifies."""
+    payload = {k: v for k, v in record.items() if k != "crc"}
+    return format(zlib.crc32(_canonical_json(payload).encode()),
+                  "08x")
+
+
 def make_record(scenario, metrics: Dict[str, float],
                 elapsed_s: float) -> Dict[str, Any]:
-    """Build one checkpoint record for a completed scenario."""
-    return {
+    """Build one checkpoint record (CRC included) for a completed
+    scenario."""
+    record = {
         "scenario_id": scenario.scenario_id,
         "index": scenario.index,
         "seed": scenario.seed,
@@ -55,6 +95,24 @@ def make_record(scenario, metrics: Dict[str, float],
         "metrics": _canonical(metrics),
         "elapsed_s": round(float(elapsed_s), 6),
     }
+    record["crc"] = record_crc(record)
+    return record
+
+
+@dataclass(frozen=True)
+class CheckpointIssue:
+    """One damaged line found by :meth:`CampaignStore.scan`.
+
+    ``kind`` is ``"torn"`` (unparseable *trailing* line — the normal
+    artifact of a killed writer), ``"json"`` (unparseable interior
+    line), ``"schema"`` (parseable but not a record), or ``"crc"``
+    (record whose checksum does not match its content).
+    """
+
+    path: str
+    line_no: int
+    kind: str
+    detail: str = ""
 
 
 class CampaignStore:
@@ -84,6 +142,11 @@ class CampaignStore:
     def summary_path(self) -> str:
         """Path the tidy report is written to."""
         return os.path.join(self.directory, "summary.json")
+
+    @property
+    def quarantine_path(self) -> str:
+        """Path of the poison-scenario quarantine JSONL."""
+        return os.path.join(self.directory, "quarantine.jsonl")
 
     def ensure(self) -> None:
         """Create the campaign directory and manifest if missing."""
@@ -120,34 +183,144 @@ class CampaignStore:
             for name in os.listdir(self.directory)
             if name.startswith("results-") and name.endswith(".jsonl"))
 
-    def load_records(self) -> Dict[str, Dict[str, Any]]:
-        """All completed records, keyed by scenario id.
+    @staticmethod
+    def _classify(line: str, is_last: bool
+                  ) -> Tuple[Optional[Dict[str, Any]], Optional[str],
+                             str]:
+        """Parse one record line into ``(record, kind, detail)``.
 
-        Torn trailing lines (from a killed writer) and duplicate ids
-        (from overlapping shard specs) are silently dropped — the
-        first parsed record for an id wins, and determinism guarantees
-        any duplicate would carry identical content anyway.
+        Exactly one of ``record`` / ``kind`` is set.  CRC and schema
+        checks run on the *raw* parsed dict, before metric decoding
+        rewrites nulls into NaN (which would break re-canonicalizing
+        the bytes the writer hashed).
+        """
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            return None, ("torn" if is_last else "json"), str(exc)
+        if not isinstance(record, dict) or \
+                any(k not in record for k in _REQUIRED_KEYS) or \
+                not isinstance(record["metrics"], dict):
+            return None, "schema", "not a checkpoint record"
+        if "crc" in record and record["crc"] != record_crc(record):
+            return None, "crc", (f"stored {record['crc']}, computed "
+                                 f"{record_crc(record)}")
+        try:
+            record["metrics"] = _decode_metrics(record["metrics"])
+        except (ValueError, KeyError, TypeError) as exc:
+            return None, "schema", f"undecodable metrics: {exc}"
+        return record, None, ""
+
+    def scan(self) -> Tuple[Dict[str, Dict[str, Any]],
+                            List[CheckpointIssue]]:
+        """Read every record file, classifying damage line by line.
+
+        Returns ``(records, issues)``: valid records keyed by scenario
+        id (first parsed record per id wins — duplicates across shard
+        files are byte-identical by determinism) and one
+        :class:`CheckpointIssue` per damaged line.  Records lacking a
+        ``crc`` field (pre-integrity checkpoints) still load — they
+        simply have nothing to verify against.
         """
         records: Dict[str, Dict[str, Any]] = {}
+        issues: List[CheckpointIssue] = []
         for path in self._record_files():
             with open(path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                        sid = record["scenario_id"]
-                        record["metrics"] = _decode_metrics(
-                            record["metrics"])
-                    except (ValueError, KeyError, TypeError):
-                        continue      # torn write; will be re-run
-                    records.setdefault(sid, record)
+                lines = fh.readlines()
+            occupied = [i for i, ln in enumerate(lines) if ln.strip()]
+            for line_no in occupied:
+                record, kind, detail = self._classify(
+                    lines[line_no].strip(),
+                    is_last=line_no == occupied[-1])
+                if record is not None:
+                    records.setdefault(record["scenario_id"], record)
+                else:
+                    issues.append(CheckpointIssue(
+                        path=path, line_no=line_no + 1, kind=kind,
+                        detail=detail))
+        return records, issues
+
+    def load_records(self) -> Dict[str, Dict[str, Any]]:
+        """All loadable records, keyed by scenario id.
+
+        Torn trailing lines (from a killed writer) are silently
+        dropped; corrupt interior lines (bad JSON, schema, CRC) are
+        dropped with a :class:`CheckpointCorruptionWarning` — either
+        way the affected scenario is recomputed on the next run
+        instead of crashing the read.  Duplicate ids (overlapping
+        shard specs) keep the first parsed record; determinism
+        guarantees any duplicate carries identical content anyway.
+        """
+        records, issues = self.scan()
+        damaged = [i for i in issues if i.kind != "torn"]
+        if damaged:
+            heads = "; ".join(
+                f"{os.path.basename(i.path)}:{i.line_no} [{i.kind}]"
+                for i in damaged[:3])
+            warnings.warn(
+                f"{self.matrix.name}: skipped {len(damaged)} corrupt "
+                f"checkpoint record(s) ({heads}); the affected "
+                f"scenarios will be recomputed",
+                CheckpointCorruptionWarning, stacklevel=2)
         return records
 
     def completed_ids(self) -> set:
         """Scenario ids that already have a checkpointed record."""
         return set(self.load_records())
+
+    # -- quarantine ---------------------------------------------------
+
+    def append_quarantine(self, entry: Dict[str, Any]) -> None:
+        """Durably append one poison-scenario entry to
+        ``quarantine.jsonl`` (open-append-fsync-close, so entries
+        survive the same kills checkpoint records do)."""
+        self.ensure()
+        with open(self.quarantine_path, "a") as fh:
+            fh.write(_canonical_json(_canonical(entry)))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load_quarantine(self) -> List[Dict[str, Any]]:
+        """The quarantine entries, deduplicated and deterministically
+        ordered.
+
+        Later entries for the same scenario id win (a scenario can be
+        re-quarantined by a later run with a fresher traceback), and
+        the result is sorted by scenario index — so two runs that
+        quarantine the same scenarios list them identically regardless
+        of execution order.  Damaged lines are skipped like checkpoint
+        lines.
+        """
+        entries: Dict[str, Dict[str, Any]] = {}
+        if not os.path.exists(self.quarantine_path):
+            return []
+        with open(self.quarantine_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    sid = entry["scenario_id"]
+                    entry["index"]
+                except (ValueError, KeyError, TypeError):
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                entries[sid] = entry
+        return sorted(entries.values(), key=lambda e: e["index"])
+
+    def quarantined_ids(self) -> set:
+        """Scenario ids currently in quarantine."""
+        return {e["scenario_id"] for e in self.load_quarantine()}
+
+    def clear_quarantine(self) -> None:
+        """Drop the quarantine (a rerun will retry those scenarios)."""
+        try:
+            os.remove(self.quarantine_path)
+        except FileNotFoundError:
+            pass
 
 
 class RecordWriter:
@@ -155,8 +328,11 @@ class RecordWriter:
 
     Records become durable one line at a time: each ``append`` writes
     a full line and flushes, so a kill loses at most the scenario in
-    flight.  Reopening after a kill first terminates any torn trailing
-    line, so the fragment cannot swallow the next record appended.
+    flight.  Reopening after a kill first *truncates* any torn
+    trailing line (the fragment holds an incomplete record that would
+    be skipped anyway), so it can neither swallow the next record
+    appended nor linger as a bogus interior line tripping corruption
+    warnings forever after.
     """
 
     def __init__(self, path: str):
@@ -175,11 +351,17 @@ class RecordWriter:
         except OSError:
             return False
 
+    @staticmethod
+    def _drop_torn_tail(path: str) -> None:
+        with open(path, "rb+") as fh:
+            data = fh.read()
+            keep = data.rfind(b"\n") + 1      # 0 when no newline
+            fh.truncate(keep)
+
     def __enter__(self) -> "RecordWriter":
-        terminate = self._ends_mid_line(self.path)
+        if self._ends_mid_line(self.path):
+            self._drop_torn_tail(self.path)
         self._fh = open(self.path, "a")
-        if terminate:
-            self._fh.write("\n")
         return self
 
     def __exit__(self, *exc) -> None:

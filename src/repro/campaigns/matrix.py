@@ -146,6 +146,10 @@ class CampaignScenario:
     params: Dict[str, Any]
     seed: Optional[int]
 
+    def task(self) -> Tuple[str, str, Dict[str, Any]]:
+        """The ``execute_task`` argument triple for this scenario."""
+        return (self.experiment, self.module, self.params)
+
 
 @dataclass(frozen=True)
 class CampaignMatrix:

@@ -24,7 +24,9 @@ at:
 The ``cell``-based campaigns run the Fig. 12 star topology; the mesh
 campaigns run :class:`repro.sim.mesh.network.MeshNetwork`.  All use
 the surrogate PHY backend; ``repro campaign list`` prints this
-registry.
+registry.  Any registered campaign can also be run under the chaos
+harness (``repro campaign chaos`` / :mod:`repro.campaigns.faults`) —
+``smoke-tiny`` is the CI chaos-smoke fixture.
 """
 
 from __future__ import annotations

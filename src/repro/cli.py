@@ -20,8 +20,13 @@ Commands:
 * ``sweep`` — run one experiment across a parameter sweep.
 * ``campaign`` — thousand-scenario sweeps: ``campaign list`` shows the
   registered matrices, ``campaign run`` executes one (sharded via
-  ``--shard I/N``, resumable from checkpoints), ``campaign status``
-  reports progress, ``campaign report`` builds tidy summary tables.
+  ``--shard I/N``, resumable from checkpoints, supervised via
+  ``--timeout``/``--retries``; exits 0 complete / 3 partial / 4
+  quarantined failures), ``campaign status`` reports progress,
+  ``campaign report`` builds tidy summary tables, ``campaign verify``
+  audits checkpoint integrity (CRC) and the quarantine, ``campaign
+  chaos`` runs the deterministic fault-injection wall
+  (docs/resilience.md).
 * ``calibrate`` — regenerate the surrogate PHY backend's calibration
   table from the full bit-exact pipeline.
 * ``bench`` — measure PHY and campaign-engine throughput and write
@@ -378,11 +383,96 @@ def _cmd_campaign_run(args) -> int:
         return 2
     runner = CampaignRunner(
         jobs=args.jobs, cache_dir=args.cache_dir, shard=shard,
+        timeout_s=args.timeout, max_retries=args.retries,
         progress=lambda line: print(line, flush=True))
     status = runner.run(matrix, limit=args.limit)
     print(f"{status.name}: {status.completed}/{status.total} "
           f"scenarios checkpointed in {status.directory}")
+    # Exit-code contract: 0 = every scenario checkpointed, 3 =
+    # scenarios remain pending (sharded/limited/interrupted run),
+    # 4 = pending scenarios are quarantined (see `campaign verify`).
+    if status.done:
+        return 0
+    if status.failed:
+        print(f"error: {status.quarantined} scenario(s) quarantined "
+              f"after repeated failures — see "
+              f"{status.directory}/quarantine.jsonl",
+              file=sys.stderr)
+        return 4
+    return 3
+
+
+def _cmd_campaign_verify(args) -> int:
+    from repro.campaigns import CampaignRunner, CampaignStore
+
+    matrix, code = _campaign_matrix(args)
+    if matrix is None:
+        return code
+    store = CampaignStore(matrix, cache_dir=args.cache_dir)
+    records, issues = store.scan()
+    current = {s.scenario_id for s in matrix.expand()}
+    valid = len(set(records) & current)
+    stale = len(set(records) - current)
+    torn = sum(1 for i in issues if i.kind == "torn")
+    corrupt = [i for i in issues if i.kind != "torn"]
+    print(f"{matrix.name} [{matrix.digest()}]: "
+          f"{valid}/{matrix.total_scenarios()} valid records"
+          + (f", {stale} stale" if stale else "")
+          + (f", {torn} torn tail(s)" if torn else "")
+          + (f", {len(corrupt)} corrupt line(s)" if corrupt else ""))
+    for issue in corrupt:
+        import os as _os
+        print(f"  corrupt: {_os.path.basename(issue.path)}:"
+              f"{issue.line_no} [{issue.kind}] {issue.detail}")
+    quarantine = CampaignRunner(cache_dir=args.cache_dir) \
+        ._status(matrix, store)
+    entries = store.load_quarantine()
+    if entries:
+        done = set(records) & current
+        print(f"quarantine: {quarantine.quarantined} active entry(s)")
+        for entry in entries:
+            state = "recovered" if entry["scenario_id"] in done \
+                else "active"
+            print(f"  #{entry['index']} ({entry['scenario_id']}) "
+                  f"[{state}] {entry.get('kind', '?')}: "
+                  f"{entry.get('error', '')}")
+    if corrupt or quarantine.quarantined:
+        return 1
     return 0
+
+
+def _cmd_campaign_chaos(args) -> int:
+    from repro.campaigns import chaos_wall
+    from repro.campaigns.faults import FAULT_KINDS
+
+    matrix, code = _campaign_matrix(args)
+    if matrix is None:
+        return code
+    kinds = [k for k in (args.faults or "").split(",") if k] or None
+    if kinds:
+        unknown = sorted(set(kinds) - set(FAULT_KINDS))
+        if unknown:
+            print(f"error: unknown fault kind(s) {unknown}; known: "
+                  f"{sorted(FAULT_KINDS)}", file=sys.stderr)
+            return 2
+    outcome = chaos_wall(
+        matrix, kinds=kinds, seed=args.seed, jobs=args.jobs,
+        timeout_s=args.timeout, max_retries=args.retries,
+        cache_root=args.cache_root,
+        emit=lambda line: print(line, flush=True))
+    for result in outcome["results"]:
+        verdict = "PASS" if result["passed"] else "FAIL"
+        quarantined = result["quarantined_during_fault"]
+        print(f"{result['kind']:>15}: {verdict}  "
+              f"(quarantined during fault: "
+              f"{quarantined if quarantined else 'none'})")
+    if outcome["passed"]:
+        print(f"{matrix.name}: chaos wall PASSED — every fault class "
+              f"resumed to the fault-free summary bytes")
+        return 0
+    print(f"error: chaos wall FAILED for {matrix.name}",
+          file=sys.stderr)
+    return 1
 
 
 def _cmd_campaign_status(args) -> int:
@@ -394,6 +484,8 @@ def _cmd_campaign_status(args) -> int:
     status = CampaignRunner(cache_dir=args.cache_dir).status(matrix)
     state = "done" if status.done else \
         f"{status.pending} pending"
+    if status.quarantined:
+        state += f", {status.quarantined} quarantined"
     print(f"{status.name} [{status.digest}]: "
           f"{status.completed}/{status.total} complete ({state})")
     print(f"checkpoints: {status.directory}")
@@ -577,13 +669,21 @@ def build_parser() -> argparse.ArgumentParser:
     csub = p.add_subparsers(dest="campaign_command", required=True)
     csub.add_parser("list", help="enumerate registered campaigns")
     for verb, text in (("run", "run a campaign (resumes from "
-                               "checkpoints)"),
+                               "checkpoints; exits 0 complete, 3 "
+                               "partial, 4 quarantined failures)"),
                        ("status", "report a campaign's progress"),
-                       ("report", "build the tidy summary tables")):
+                       ("report", "build the tidy summary tables"),
+                       ("verify", "audit checkpoint integrity and "
+                                  "the quarantine (exits 1 on "
+                                  "corruption or active quarantine)"),
+                       ("chaos", "prove fault recovery: inject each "
+                                 "fault class, resume, and compare "
+                                 "summaries byte-for-byte")):
         cp = csub.add_parser(verb, help=text)
         cp.add_argument("campaign",
                         help="campaign name (see `campaign list`)")
-        cp.add_argument("--cache-dir", default=".repro-cache")
+        if verb != "chaos":
+            cp.add_argument("--cache-dir", default=".repro-cache")
         if verb == "run":
             cp.add_argument("--jobs", type=int, default=1,
                             help="worker processes")
@@ -593,12 +693,38 @@ def build_parser() -> argparse.ArgumentParser:
                                  "cover the matrix")
             cp.add_argument("--limit", type=int, default=None,
                             help="run at most K pending scenarios")
+            cp.add_argument("--timeout", type=float, default=None,
+                            help="per-scenario wall-clock deadline "
+                                 "(seconds); enables the supervised "
+                                 "pool even at --jobs 1")
+            cp.add_argument("--retries", type=int, default=2,
+                            help="failed-scenario retries before "
+                                 "quarantine (default 2)")
         if verb == "report":
             cp.add_argument("--group-by", default=None,
                             help="comma-separated varied parameters "
                                  "to group means over")
             cp.add_argument("--output",
                             help="also write the summary JSON here")
+        if verb == "chaos":
+            cp.add_argument("--faults", default=None,
+                            help="comma-separated fault kinds "
+                                 "(default: all of raise,slow,hang,"
+                                 "crash,corrupt-record,"
+                                 "truncate-file)")
+            cp.add_argument("--jobs", type=int, default=2,
+                            help="worker processes per run")
+            cp.add_argument("--timeout", type=float, default=10.0,
+                            help="per-scenario watchdog deadline "
+                                 "(seconds) for the faulted runs")
+            cp.add_argument("--retries", type=int, default=2,
+                            help="retries before quarantine")
+            cp.add_argument("--seed", type=int, default=0,
+                            help="fault-plan seed (which scenarios "
+                                 "get hit)")
+            cp.add_argument("--cache-root", default=None,
+                            help="parent dir for the wall's "
+                                 "temporary cache dirs")
     return parser
 
 
@@ -620,6 +746,8 @@ _CAMPAIGN_HANDLERS = {
     "run": _cmd_campaign_run,
     "status": _cmd_campaign_status,
     "report": _cmd_campaign_report,
+    "verify": _cmd_campaign_verify,
+    "chaos": _cmd_campaign_chaos,
 }
 
 

@@ -41,7 +41,7 @@ __all__ = ["ExperimentSpec", "Scenario", "ExperimentResult", "Runner",
            "register_experiment", "get_experiment", "experiment_names",
            "list_experiments", "load_all", "run", "derive_seeds",
            "execute_task", "UnknownParameterError",
-           "UnknownExperimentError"]
+           "UnknownExperimentError", "ExperimentExecutionError"]
 
 #: Bump to invalidate previously cached results on disk.
 CACHE_VERSION = 1
@@ -69,6 +69,30 @@ class UnknownParameterError(ValueError):
 
 class UnknownExperimentError(KeyError):
     """The requested name is not in the experiment registry."""
+
+
+class ExperimentExecutionError(RuntimeError):
+    """An experiment function raised while executing a scenario.
+
+    Wraps the underlying exception with the experiment name and the
+    worker-side traceback text, so failures crossing a process-pool
+    boundary stay attributable — the parent sees *which* experiment
+    broke and *how*, not just a bare re-raised exception.  Picklable
+    by construction (``__reduce__``) because process pools must ship
+    it back to the parent intact.
+    """
+
+    def __init__(self, message: str, experiment: Optional[str] = None,
+                 traceback_text: str = ""):
+        super().__init__(message)
+        #: Name of the experiment whose function raised.
+        self.experiment = experiment
+        #: Formatted worker-side traceback of the original error.
+        self.traceback_text = traceback_text
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.experiment,
+                                 self.traceback_text))
 
 
 def _canonical(value: Any) -> Any:
@@ -455,7 +479,15 @@ def execute_task(name: str, module: str,
     if name not in _REGISTRY:
         importlib.import_module(module)
     spec = _REGISTRY[name]
-    return spec.extract_metrics(spec.fn(**dict(params)))
+    try:
+        return spec.extract_metrics(spec.fn(**dict(params)))
+    except Exception as exc:
+        import traceback
+        raise ExperimentExecutionError(
+            f"experiment {name!r} failed: "
+            f"{type(exc).__name__}: {exc}",
+            experiment=name,
+            traceback_text=traceback.format_exc()) from exc
 
 
 def _pool_worker(task: Tuple[str, str, Dict[str, Any]]

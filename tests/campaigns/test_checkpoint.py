@@ -1,10 +1,14 @@
-"""Checkpoint store: durability, torn writes, dedupe, manifests."""
+"""Checkpoint store: durability, torn writes, dedupe, integrity."""
 
 import json
 import math
 import os
 
-from repro.campaigns.checkpoint import CampaignStore, make_record
+import pytest
+
+from repro.campaigns.checkpoint import (CampaignStore,
+                                        CheckpointCorruptionWarning,
+                                        make_record, record_crc)
 from repro.campaigns.matrix import Axis, CampaignMatrix
 
 
@@ -94,3 +98,136 @@ class TestRecords:
         with store.writer("0of1") as out:
             out.append(make_record(scenarios[1], {"m": 2.0}, 0.1))
         assert len(store.load_records()) == 2
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        """A torn trailing fragment is removed (not newline-sealed) on
+        the next writer open, so it never becomes permanent interior
+        garbage that warns on every later read."""
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        scenarios = _matrix().expand()
+        with store.writer("0of1") as out:
+            out.append(make_record(scenarios[0], {"m": 1.0}, 0.1))
+        path = os.path.join(store.directory, "results-0of1.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"scenario_id": "dead')
+        with store.writer("0of1") as out:
+            out.append(make_record(scenarios[1], {"m": 2.0}, 0.1))
+        _, issues = store.scan()
+        assert issues == []
+        with open(path) as fh:
+            assert "dead" not in fh.read()
+
+
+def _write_three(tmp_path):
+    store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+    scenarios = _matrix().expand()
+    with store.writer("0of1") as out:
+        for s in scenarios:
+            out.append(make_record(s, {"m": float(s.index)}, 0.1))
+    return store, scenarios, os.path.join(store.directory,
+                                          "results-0of1.jsonl")
+
+
+def _rewrite_line(path, line_no, new_text):
+    with open(path) as fh:
+        lines = fh.readlines()
+    lines[line_no - 1] = new_text
+    with open(path, "w") as fh:
+        fh.writelines(lines)
+
+
+class TestIntegrity:
+    """Satellite: corrupt interior lines skip-and-warn, never crash."""
+
+    def test_interior_garbage_line_skipped_with_warning(self,
+                                                        tmp_path):
+        store, scenarios, path = _write_three(tmp_path)
+        _rewrite_line(path, 2, "@@not json at all@@\n")
+        with pytest.warns(CheckpointCorruptionWarning,
+                          match=r"\[json\]"):
+            records = store.load_records()
+        assert set(records) == {scenarios[0].scenario_id,
+                                scenarios[2].scenario_id}
+
+    def test_non_dict_line_skipped_as_schema(self, tmp_path):
+        store, scenarios, path = _write_three(tmp_path)
+        _rewrite_line(path, 1, "[1, 2, 3]\n")
+        with pytest.warns(CheckpointCorruptionWarning,
+                          match=r"\[schema\]"):
+            records = store.load_records()
+        assert len(records) == 2
+
+    def test_missing_key_and_bad_metrics_are_schema_issues(
+            self, tmp_path):
+        store, scenarios, path = _write_three(tmp_path)
+        record = make_record(scenarios[0], {"m": 0.0}, 0.1)
+        del record["metrics"]
+        _rewrite_line(path, 1, json.dumps(record) + "\n")
+        bad = make_record(scenarios[1], {"m": 1.0}, 0.1)
+        bad["metrics"] = "oops"
+        _rewrite_line(path, 2, json.dumps(bad) + "\n")
+        _, issues = store.scan()                # scan itself is quiet
+        assert [i.kind for i in issues] == ["schema", "schema"]
+        with pytest.warns(CheckpointCorruptionWarning,
+                          match="2 corrupt"):
+            records = store.load_records()
+        assert len(records) == 1
+
+    def test_crc_tamper_detected(self, tmp_path):
+        store, scenarios, path = _write_three(tmp_path)
+        with open(path) as fh:
+            lines = fh.readlines()
+        tampered = json.loads(lines[1])
+        tampered["metrics"]["m"] += 1.0        # silent bit-flip
+        _rewrite_line(path, 2, json.dumps(tampered) + "\n")
+        with pytest.warns(CheckpointCorruptionWarning,
+                          match=r"\[crc\]"):
+            records = store.load_records()
+        assert scenarios[1].scenario_id not in records
+
+    def test_legacy_record_without_crc_accepted(self, tmp_path):
+        store, scenarios, path = _write_three(tmp_path)
+        legacy = json.loads(open(path).readline())
+        del legacy["crc"]
+        _rewrite_line(path, 1, json.dumps(legacy) + "\n")
+        records, issues = store.scan()
+        assert issues == []
+        assert len(records) == 3
+
+    def test_record_crc_is_stable_under_key_order(self, tmp_path):
+        record = make_record(_matrix().expand()[0], {"m": 1.0}, 0.1)
+        shuffled = dict(reversed(list(record.items())))
+        assert record_crc(record) == record_crc(shuffled)
+
+
+class TestQuarantine:
+    def test_roundtrip_dedupe_and_sort(self, tmp_path):
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        store.ensure()
+        assert store.load_quarantine() == []
+        store.append_quarantine({"scenario_id": "b", "index": 2,
+                                 "kind": "raise", "attempts": 1})
+        store.append_quarantine({"scenario_id": "a", "index": 0,
+                                 "kind": "raise", "attempts": 1})
+        store.append_quarantine({"scenario_id": "b", "index": 2,
+                                 "kind": "crash", "attempts": 3})
+        entries = store.load_quarantine()
+        assert [e["index"] for e in entries] == [0, 2]
+        assert entries[1]["kind"] == "crash"    # keep-last wins
+        assert store.quarantined_ids() == {"a", "b"}
+
+    def test_clear_quarantine(self, tmp_path):
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        store.ensure()
+        store.append_quarantine({"scenario_id": "a", "index": 0})
+        store.clear_quarantine()
+        assert store.load_quarantine() == []
+        store.clear_quarantine()                # idempotent
+
+    def test_quarantine_tolerates_torn_tail(self, tmp_path):
+        store = CampaignStore(_matrix(), cache_dir=str(tmp_path))
+        store.ensure()
+        store.append_quarantine({"scenario_id": "a", "index": 1})
+        with open(store.quarantine_path, "a") as fh:
+            fh.write('{"scenario_id": "torn')
+        assert [e["index"] for e in store.load_quarantine()] == [1]

@@ -14,7 +14,7 @@ import pytest
 from repro.campaigns import (CampaignRunner, CampaignStore,
                              get_campaign)
 from repro.campaigns.matrix import Axis, CampaignMatrix
-from repro.campaigns.runner import parse_shard
+from repro.campaigns.runner import CampaignStatus, parse_shard
 
 
 def _matrix(replicates=2):
@@ -34,6 +34,47 @@ class TestParseShard:
         for bad in ("x/2", "2/x", "-1/2", "2/2", "0/0", "3"):
             with pytest.raises(ValueError):
                 parse_shard(bad)
+
+    def test_rejects_malformed_separators(self):
+        for bad in ("", "/", "1/", "/2", "1/2/3", " "):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_tolerates_whitespace_around_numbers(self):
+        assert parse_shard("1 / 2") == (1, 2)   # int() strips spaces
+
+
+class TestCampaignStatus:
+    def test_pending_and_done_arithmetic(self, tmp_path):
+        status = CampaignStatus(name="s", digest="d", total=8,
+                                completed=3, directory=str(tmp_path))
+        assert status.pending == 5
+        assert not status.done and not status.failed
+        full = CampaignStatus(name="s", digest="d", total=8,
+                              completed=8, directory=str(tmp_path))
+        assert full.pending == 0 and full.done and not full.failed
+
+    def test_quarantined_counts_as_failed_until_completed(
+            self, tmp_path):
+        stuck = CampaignStatus(name="s", digest="d", total=8,
+                               completed=6, directory=str(tmp_path),
+                               quarantined=2)
+        assert stuck.pending == 2 and stuck.failed and not stuck.done
+
+
+class TestRunnerValidation:
+    def test_rejects_bad_supervision_parameters(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            CampaignRunner(timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            CampaignRunner(max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            CampaignRunner(retry_backoff_s=-0.1)
+
+    def test_timeout_alone_forces_supervised_pool(self):
+        assert not CampaignRunner()._pooled
+        assert CampaignRunner(jobs=2)._pooled
+        assert CampaignRunner(timeout_s=10.0)._pooled
 
 
 class TestRunAndResume:

@@ -5,10 +5,14 @@ import json
 import numpy as np
 import pytest
 
-from repro.experiments.api import (ExperimentResult, Runner, Scenario,
+import pickle
+
+from repro.experiments.api import (ExperimentExecutionError,
+                                   ExperimentResult, Runner, Scenario,
                                    UnknownParameterError, derive_seeds,
-                                   experiment_names, get_experiment,
-                                   list_experiments, load_all, run)
+                                   execute_task, experiment_names,
+                                   get_experiment, list_experiments,
+                                   load_all, register_experiment, run)
 
 #: One registration per experiment module (and nothing else): the
 #: figXX/tabXX reproductions plus the campaign matrix cells.
@@ -376,3 +380,39 @@ class TestPhyBackendKnob:
                             lambda: "bbbb")
         assert spec.scenario({"phy_backend": "full"}).content_hash() \
             == full_a
+
+
+@register_experiment(
+    "api-fragile",
+    description="throwaway experiment that fails on demand",
+    params={"boom": 0, "seed": 1})
+def _run_fragile(boom=0, seed=1):
+    """Raises when asked; the execution-error wrapping fixture."""
+    if boom:
+        raise ZeroDivisionError("requested failure")
+    return {"value": float(seed)}
+
+
+class TestExecutionError:
+    def test_execute_task_wraps_failures_with_context(self):
+        with pytest.raises(ExperimentExecutionError) as info:
+            execute_task("api-fragile", __name__,
+                         {"boom": 1, "seed": 7})
+        err = info.value
+        assert err.experiment == "api-fragile"
+        assert "ZeroDivisionError" in str(err)
+        assert "requested failure" in err.traceback_text
+        assert isinstance(err.__cause__, ZeroDivisionError)
+
+    def test_execute_task_success_untouched(self):
+        metrics = execute_task("api-fragile", __name__,
+                               {"boom": 0, "seed": 7})
+        assert metrics["value"] == 7.0
+
+    def test_pickle_roundtrip_preserves_attribution(self):
+        err = ExperimentExecutionError("msg", experiment="cell",
+                                       traceback_text="tb lines")
+        clone = pickle.loads(pickle.dumps(err))
+        assert str(clone) == "msg"
+        assert clone.experiment == "cell"
+        assert clone.traceback_text == "tb lines"

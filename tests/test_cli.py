@@ -237,6 +237,8 @@ class TestCampaign:
         assert "unknown campaign" in capsys.readouterr().err
         assert main(["campaign", "status", "nope"]) == 2
         assert main(["campaign", "report", "nope"]) == 2
+        assert main(["campaign", "verify", "nope"]) == 2
+        assert main(["campaign", "chaos", "nope"]) == 2
 
     def test_bad_shard_spec_fails_cleanly(self, tmp_path, capsys):
         assert main(["campaign", "run", "smoke-tiny",
@@ -247,8 +249,9 @@ class TestCampaign:
     def test_run_status_report_roundtrip(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
         out_path = str(tmp_path / "summary.json")
+        # A limited run leaves scenarios pending: partial exit code 3.
         assert main(["campaign", "run", "smoke-tiny",
-                     "--cache-dir", cache, "--limit", "3"]) == 0
+                     "--cache-dir", cache, "--limit", "3"]) == 3
         out = capsys.readouterr().out
         assert "3/8 scenarios checkpointed" in out
         assert main(["campaign", "status", "smoke-tiny",
@@ -271,9 +274,96 @@ class TestCampaign:
     def test_report_bad_group_by_fails_cleanly(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
         assert main(["campaign", "run", "smoke-tiny",
-                     "--cache-dir", cache, "--limit", "1"]) == 0
+                     "--cache-dir", cache, "--limit", "1"]) == 3
         capsys.readouterr()
         assert main(["campaign", "report", "smoke-tiny",
                      "--cache-dir", cache,
                      "--group-by", "bogus"]) == 2
         assert "bogus" in capsys.readouterr().err
+
+
+def _register_fragile_campaign():
+    """A 3-scenario campaign whose x=2 scenario always fails."""
+    from repro.campaigns import register_campaign
+    from repro.campaigns.matrix import Axis, CampaignMatrix
+    from repro.experiments.api import register_experiment
+
+    def run_fragile(x=0, seed=1, replicate=0):
+        if x == 2:
+            raise RuntimeError("poison x=2")
+        return {"value": float(x)}
+
+    try:
+        register_experiment(
+            "cli-fragile",
+            description="CLI test experiment with one poison scenario",
+            params={"x": 0, "seed": 1, "replicate": 0})(run_fragile)
+    except ValueError:
+        pass                                # already registered
+    return register_campaign(CampaignMatrix(
+        name="cli-fragile-camp", experiment="cli-fragile",
+        axes=(Axis("x", (1, 2, 3)),), seed=5))
+
+
+class TestCampaignResilienceCLI:
+    def test_quarantined_run_exits_4_and_verify_reports_it(
+            self, tmp_path, capsys):
+        _register_fragile_campaign()
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", "cli-fragile-camp",
+                     "--cache-dir", cache, "--retries", "0"]) == 4
+        captured = capsys.readouterr()
+        assert "QUARANTINED" in captured.out
+        assert "quarantine.jsonl" in captured.err
+        assert main(["campaign", "status", "cli-fragile-camp",
+                     "--cache-dir", cache]) == 0
+        assert "1 quarantined" in capsys.readouterr().out
+        assert main(["campaign", "verify", "cli-fragile-camp",
+                     "--cache-dir", cache]) == 1
+        out = capsys.readouterr().out
+        assert "2/3 valid records" in out
+        assert "[active] ExperimentExecutionError" in out
+        assert "poison x=2" in out
+
+    def test_verify_clean_store_exits_0(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "verify", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        assert "8/8 valid records" in capsys.readouterr().out
+
+    def test_verify_flags_corrupt_record(self, tmp_path, capsys):
+        from repro.campaigns import CampaignStore, get_campaign
+        from repro.campaigns.faults import FaultPlan, FaultSpec
+
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        store = CampaignStore(get_campaign("smoke-tiny"),
+                              cache_dir=cache)
+        plan = FaultPlan((FaultSpec("corrupt-record",
+                                    scenario_index=0, seed=1),))
+        plan.apply_store_faults(store.directory)
+        capsys.readouterr()
+        from repro.campaigns import CheckpointCorruptionWarning
+        with pytest.warns(CheckpointCorruptionWarning):
+            assert main(["campaign", "verify", "smoke-tiny",
+                         "--cache-dir", cache]) == 1
+        out = capsys.readouterr().out
+        assert "7/8 valid records" in out
+        assert "1 corrupt line(s)" in out and "[crc]" in out
+
+    def test_chaos_rejects_unknown_fault_kind(self, capsys):
+        assert main(["campaign", "chaos", "smoke-tiny",
+                     "--faults", "meteor"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_chaos_smoke_single_fault(self, tmp_path, capsys):
+        assert main(["campaign", "chaos", "smoke-tiny",
+                     "--faults", "truncate-file", "--jobs", "1",
+                     "--cache-root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "truncate-file: PASS" in out
+        assert "chaos wall PASSED" in out
