@@ -25,25 +25,41 @@ integrity on the checkpoint store — with a deterministic
 fault-injection harness (:mod:`repro.campaigns.faults`) proving the
 recovery guarantees.  See ``docs/resilience.md``.
 
+Records land in one of two interchangeable store backends — JSONL
+lines (:class:`CampaignStore`) or sealed npz column chunks behind a
+WAL tail (:class:`ColumnStore`, ``store="columnar"``) — and reads
+union both formats.  Campaign *service mode*
+(:class:`CampaignService`, ``repro campaign serve``/``submit``)
+layers a long-running asyncio submission front end with a durable
+queue on top of the same runner and stores; see ``docs/service.md``.
+
 The CLI mirrors this as ``repro campaign
-run/status/report/verify/chaos``; see ``docs/campaigns.md`` for
-authoring matrices.
+run/status/report/verify/chaos/serve/submit/results``; see
+``docs/campaigns.md`` for authoring matrices.
 """
 
 from repro.campaigns.checkpoint import (CampaignStore,
-                                        CheckpointCorruptionWarning)
+                                        CheckpointCorruptionWarning,
+                                        ResultStore)
+from repro.campaigns.colstore import ColumnStore, StreamingSummary
 from repro.campaigns.faults import (FaultInjectedError, FaultPlan,
                                     FaultSpec, chaos_wall)
 from repro.campaigns.matrix import (Axis, CampaignError, CampaignMatrix,
                                     CampaignScenario, RandomAxis,
                                     derive_scenario_seed)
-from repro.campaigns.runner import CampaignRunner, CampaignStatus
+from repro.campaigns.runner import (STORE_BACKENDS, CampaignRunner,
+                                    CampaignStatus)
+from repro.campaigns.service import (CampaignService, ServiceError,
+                                     ServiceUnavailable)
 from repro.campaigns.stock import (campaign_names, get_campaign,
                                    list_campaigns, register_campaign)
 
 __all__ = ["Axis", "RandomAxis", "CampaignMatrix", "CampaignScenario",
            "CampaignError", "CampaignStore", "CampaignRunner",
-           "CampaignStatus", "CheckpointCorruptionWarning",
+           "CampaignService", "CampaignStatus",
+           "CheckpointCorruptionWarning", "ColumnStore",
            "FaultInjectedError", "FaultPlan", "FaultSpec",
-           "chaos_wall", "derive_scenario_seed", "get_campaign",
-           "campaign_names", "list_campaigns", "register_campaign"]
+           "ResultStore", "STORE_BACKENDS", "ServiceError",
+           "ServiceUnavailable", "StreamingSummary", "chaos_wall",
+           "derive_scenario_seed", "get_campaign", "campaign_names",
+           "list_campaigns", "register_campaign"]

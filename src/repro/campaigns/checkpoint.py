@@ -9,6 +9,9 @@ by the matrix's content digest, holding:
   (one per shard spec) appends to its own file, and readers union all
   of them, deduplicating by scenario id — which is safe precisely
   because scenario execution is deterministic.
+* ``columns-*.npz`` — sealed column chunks, when the campaign ran on
+  the columnar backend (:mod:`repro.campaigns.colstore`).  Readers
+  union both formats, so batch and served runs resume each other.
 * ``quarantine.jsonl`` — scenarios the supervised runner gave up on
   after exhausting retries, with their captured tracebacks (see
   :mod:`repro.campaigns.runner`).
@@ -27,11 +30,17 @@ uninterrupted run because records carry only deterministic content
 **Integrity**: every record carries a ``crc`` field — a CRC-32 of its
 canonical JSON minus the field itself — so bit rot, partial flushes
 and editor accidents are *detected*, not silently aggregated.
-:meth:`CampaignStore.scan` classifies every damaged line (torn tail,
+:meth:`ResultStore.scan` classifies every damaged line (torn tail,
 invalid JSON, schema violation, CRC mismatch); the loader skips
 damaged records with a :class:`CheckpointCorruptionWarning`, which
 requeues the affected scenario on the next run instead of crashing
 it.  ``repro campaign verify`` exposes the same scan on the CLI.
+
+The store abstraction is split in two: :class:`ResultStore` holds
+everything readers need (paths, union scan across record formats,
+quarantine) and backends supply only a :meth:`ResultStore.writer`.
+:class:`CampaignStore` is the JSONL backend; the columnar backend
+lives in :mod:`repro.campaigns.colstore`.
 """
 
 from __future__ import annotations
@@ -40,15 +49,15 @@ import json
 import os
 import warnings
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import IO, Any, Dict, List, Optional, Tuple
 
 from repro.experiments.api import (_canonical, _decode_metrics,
                                    _canonical_json)
 
 __all__ = ["CampaignStore", "CheckpointCorruptionWarning",
-           "CheckpointIssue", "make_record", "record_crc",
-           "write_json_atomic"]
+           "CheckpointIssue", "ResultStore", "make_record",
+           "record_crc", "scan_jsonl", "write_json_atomic"]
 
 #: Keys every checkpoint record must carry to be loadable.
 _REQUIRED_KEYS = ("scenario_id", "index", "seed", "params", "metrics",
@@ -77,7 +86,7 @@ def write_json_atomic(path: str, payload: Any) -> None:
 def record_crc(record: Dict[str, Any]) -> str:
     """CRC-32 (8 hex chars) of a record's canonical JSON, excluding
     any ``crc`` field — the value :func:`make_record` embeds and
-    :meth:`CampaignStore.scan` verifies."""
+    :meth:`ResultStore.scan` verifies."""
     payload = {k: v for k, v in record.items() if k != "crc"}
     return format(zlib.crc32(_canonical_json(payload).encode()),
                   "08x")
@@ -101,12 +110,16 @@ def make_record(scenario, metrics: Dict[str, float],
 
 @dataclass(frozen=True)
 class CheckpointIssue:
-    """One damaged line found by :meth:`CampaignStore.scan`.
+    """One damaged line or chunk found by :meth:`ResultStore.scan`.
 
-    ``kind`` is ``"torn"`` (unparseable *trailing* line — the normal
-    artifact of a killed writer), ``"json"`` (unparseable interior
-    line), ``"schema"`` (parseable but not a record), or ``"crc"``
-    (record whose checksum does not match its content).
+    ``kind`` is ``"torn"`` (unparseable *trailing* line or highest-
+    sequence column chunk — the normal artifact of a killed writer),
+    ``"json"`` (unparseable interior line), ``"chunk"`` (unreadable
+    interior column chunk), ``"schema"`` (parseable but not a
+    record), or ``"crc"`` (record whose checksum does not match its
+    content).  ``line_no`` is 1-based for JSONL lines and the 1-based
+    row number for column-chunk rows (0 when the whole chunk is
+    damaged).
     """
 
     path: str
@@ -115,8 +128,85 @@ class CheckpointIssue:
     detail: str = ""
 
 
-class CampaignStore:
-    """The on-disk state of one campaign (records + manifest).
+def _classify_line(line: str, is_last: bool
+                   ) -> Tuple[Optional[Dict[str, Any]], Optional[str],
+                              str]:
+    """Parse one record line into ``(record, kind, detail)``.
+
+    Exactly one of ``record`` / ``kind`` is set.  CRC and schema
+    checks run on the *raw* parsed dict, before metric decoding
+    rewrites nulls into NaN (which would break re-canonicalizing
+    the bytes the writer hashed).
+    """
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        return None, ("torn" if is_last else "json"), str(exc)
+    if not isinstance(record, dict) or \
+            any(k not in record for k in _REQUIRED_KEYS) or \
+            not isinstance(record["metrics"], dict):
+        return None, "schema", "not a checkpoint record"
+    if "crc" in record and record["crc"] != record_crc(record):
+        return None, "crc", (f"stored {record['crc']}, computed "
+                             f"{record_crc(record)}")
+    try:
+        record["metrics"] = _decode_metrics(record["metrics"])
+    except (ValueError, KeyError, TypeError) as exc:
+        return None, "schema", f"undecodable metrics: {exc}"
+    return record, None, ""
+
+
+def _jsonl_files(directory: str) -> List[str]:
+    """The JSONL record files under a campaign directory, sorted."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.startswith("results-") and name.endswith(".jsonl"))
+
+
+def scan_jsonl(directory: str
+               ) -> Tuple[Dict[str, Dict[str, Any]],
+                          List[CheckpointIssue]]:
+    """Read every ``results-*.jsonl`` file under ``directory``,
+    classifying damage line by line.
+
+    Returns ``(records, issues)``: valid records keyed by scenario id
+    (first parsed record per id wins — duplicates across files are
+    byte-identical by determinism) and one :class:`CheckpointIssue`
+    per damaged line.  Records lacking a ``crc`` field
+    (pre-integrity checkpoints) still load — they simply have nothing
+    to verify against.
+    """
+    records: Dict[str, Dict[str, Any]] = {}
+    issues: List[CheckpointIssue] = []
+    for path in _jsonl_files(directory):
+        with open(path) as fh:
+            lines = fh.readlines()
+        occupied = [i for i, ln in enumerate(lines) if ln.strip()]
+        for line_no in occupied:
+            record, kind, detail = _classify_line(
+                lines[line_no].strip(),
+                is_last=line_no == occupied[-1])
+            if record is not None:
+                records.setdefault(record["scenario_id"], record)
+            else:
+                issues.append(CheckpointIssue(
+                    path=path, line_no=line_no + 1, kind=kind,
+                    detail=detail))
+    return records, issues
+
+
+class ResultStore:
+    """The on-disk state of one campaign, independent of the record
+    format its writer produces.
+
+    Reading is *union* across formats: :meth:`scan` merges JSONL
+    records with sealed column chunks, so a campaign started on one
+    backend resumes seamlessly on the other and ``status``/``report``
+    never care how records landed on disk.  Subclasses supply only
+    :meth:`writer`.
 
     Example::
 
@@ -160,96 +250,51 @@ class CampaignStore:
 
     # -- writing ------------------------------------------------------
 
-    def writer(self, label: str) -> "RecordWriter":
-        """Open the append-only record file for one writer label.
+    def writer(self, label: str):
+        """Open the append-only record sink for one writer label.
 
         One label (normally the shard spec, e.g. ``"2of8"``) must have
         at most one live writer; distinct labels may append
         concurrently from different processes or machines sharing the
-        cache directory.
+        cache directory.  Backends return their own context-manager
+        writer type.
         """
-        self.ensure()
-        path = os.path.join(self.directory,
-                            f"results-{label}.jsonl")
-        return RecordWriter(path)
+        raise NotImplementedError
 
     # -- reading ------------------------------------------------------
 
-    def _record_files(self) -> List[str]:
-        if not os.path.isdir(self.directory):
-            return []
-        return sorted(
-            os.path.join(self.directory, name)
-            for name in os.listdir(self.directory)
-            if name.startswith("results-") and name.endswith(".jsonl"))
-
-    @staticmethod
-    def _classify(line: str, is_last: bool
-                  ) -> Tuple[Optional[Dict[str, Any]], Optional[str],
-                             str]:
-        """Parse one record line into ``(record, kind, detail)``.
-
-        Exactly one of ``record`` / ``kind`` is set.  CRC and schema
-        checks run on the *raw* parsed dict, before metric decoding
-        rewrites nulls into NaN (which would break re-canonicalizing
-        the bytes the writer hashed).
-        """
-        try:
-            record = json.loads(line)
-        except ValueError as exc:
-            return None, ("torn" if is_last else "json"), str(exc)
-        if not isinstance(record, dict) or \
-                any(k not in record for k in _REQUIRED_KEYS) or \
-                not isinstance(record["metrics"], dict):
-            return None, "schema", "not a checkpoint record"
-        if "crc" in record and record["crc"] != record_crc(record):
-            return None, "crc", (f"stored {record['crc']}, computed "
-                                 f"{record_crc(record)}")
-        try:
-            record["metrics"] = _decode_metrics(record["metrics"])
-        except (ValueError, KeyError, TypeError) as exc:
-            return None, "schema", f"undecodable metrics: {exc}"
-        return record, None, ""
-
     def scan(self) -> Tuple[Dict[str, Dict[str, Any]],
                             List[CheckpointIssue]]:
-        """Read every record file, classifying damage line by line.
+        """Read every record in the directory — JSONL lines *and*
+        sealed column chunks — classifying damage as it goes.
 
-        Returns ``(records, issues)``: valid records keyed by scenario
-        id (first parsed record per id wins — duplicates across shard
-        files are byte-identical by determinism) and one
-        :class:`CheckpointIssue` per damaged line.  Records lacking a
-        ``crc`` field (pre-integrity checkpoints) still load — they
-        simply have nothing to verify against.
+        Returns ``(records, issues)`` with records keyed by scenario
+        id; duplicates across files and formats keep the first parsed
+        copy (byte-identical by determinism, so the choice cannot
+        matter).  JSONL records win ties because the columnar
+        writer's tail file *is* JSONL — a record seen there is at
+        least as fresh as its sealed copy.
         """
-        records: Dict[str, Dict[str, Any]] = {}
-        issues: List[CheckpointIssue] = []
-        for path in self._record_files():
-            with open(path) as fh:
-                lines = fh.readlines()
-            occupied = [i for i, ln in enumerate(lines) if ln.strip()]
-            for line_no in occupied:
-                record, kind, detail = self._classify(
-                    lines[line_no].strip(),
-                    is_last=line_no == occupied[-1])
-                if record is not None:
-                    records.setdefault(record["scenario_id"], record)
-                else:
-                    issues.append(CheckpointIssue(
-                        path=path, line_no=line_no + 1, kind=kind,
-                        detail=detail))
+        records, issues = scan_jsonl(self.directory)
+        from repro.campaigns.colstore import scan_chunks
+        chunk_records, chunk_issues = scan_chunks(self.directory)
+        for record in chunk_records:
+            records.setdefault(record["scenario_id"], record)
+        issues.extend(chunk_issues)
         return records, issues
 
     def load_records(self) -> Dict[str, Dict[str, Any]]:
         """All loadable records, keyed by scenario id.
 
-        Torn trailing lines (from a killed writer) are silently
-        dropped; corrupt interior lines (bad JSON, schema, CRC) are
-        dropped with a :class:`CheckpointCorruptionWarning` — either
-        way the affected scenario is recomputed on the next run
-        instead of crashing the read.  Duplicate ids (overlapping
-        shard specs) keep the first parsed record; determinism
-        guarantees any duplicate carries identical content anyway.
+        Torn trailing lines and torn trailing chunks (from a killed
+        writer) are silently dropped; corrupt interior damage (bad
+        JSON, unreadable chunk, schema, CRC) is dropped with a
+        :class:`CheckpointCorruptionWarning` — either way the
+        affected scenario is recomputed on the next run instead of
+        crashing the read.  Duplicate ids (overlapping shard specs,
+        or a record present both in a chunk and the writer tail) keep
+        the first parsed record; determinism guarantees any duplicate
+        carries identical content anyway.
         """
         records, issues = self.scan()
         damaged = [i for i in issues if i.kind != "torn"]
@@ -321,6 +366,24 @@ class CampaignStore:
             os.remove(self.quarantine_path)
         except FileNotFoundError:
             pass
+
+
+class CampaignStore(ResultStore):
+    """The JSONL record backend: one flushed line per scenario.
+
+    This is the default backend — simplest possible durability (every
+    record is one fsynced line) at the cost of JSON-parsing every
+    record back on each scan.  Large campaigns should prefer the
+    columnar backend (:class:`repro.campaigns.colstore.ColumnStore`),
+    which the runner selects via ``store="columnar"``.
+    """
+
+    def writer(self, label: str) -> "RecordWriter":
+        """Open the append-only JSONL record file for ``label``."""
+        self.ensure()
+        path = os.path.join(self.directory,
+                            f"results-{label}.jsonl")
+        return RecordWriter(path)
 
 
 class RecordWriter:

@@ -1,0 +1,455 @@
+"""Columnar campaign results: sealed npz column chunks + a WAL tail.
+
+Per-scenario JSONL is the right durability story but the wrong read
+story at scale: summarizing a million-scenario campaign means a
+million ``json.loads`` calls.  This module keeps the durability and
+fixes the reads by storing results as **column chunks** —
+``columns-{label}-{seq:08d}.npz`` files holding one numpy column per
+record field (ids, indices, seeds, params JSON, elapsed, CRCs) plus a
+dense ``(n_metrics, n_rows)`` value matrix with a presence mask — so
+aggregation is a handful of vectorized reductions per chunk instead
+of per-record parsing.
+
+**Durability model (the WAL tail).**  Sealing a chunk only at a row
+threshold would make a kill lose every buffered record, which is
+*worse* than JSONL.  So the writer is a hybrid: every ``append`` also
+writes the record as a flushed line to the backend's ordinary JSONL
+tail file (``results-{label}.jsonl`` — byte-identical format to
+:class:`repro.campaigns.checkpoint.RecordWriter`'s), and once
+``chunk_records`` rows have accumulated they are sealed into an
+atomically-renamed npz chunk and the tail is truncated.  A kill at
+any instant therefore loses at most the record in flight:
+
+* before a seal — the records live in the tail, which the union scan
+  (:meth:`repro.campaigns.checkpoint.ResultStore.scan`) reads like
+  any JSONL checkpoint;
+* between seal and tail truncation — the records exist twice; the
+  scan deduplicates by scenario id, which determinism makes safe;
+* mid-seal — the ``os.replace`` never published the chunk, and the
+  tail still holds everything.
+
+**Integrity.**  Rows carry the same ``crc`` the JSONL format does
+(over the record's canonical JSON), recomputed from the decoded
+columns on load — so a bit flipped inside a chunk is detected per
+row when the chunk still reads, and an unreadable chunk is
+classified whole: the highest-sequence chunk per label is ``torn``
+(the kill artifact — silently recomputed) and interior chunks are
+``chunk`` (corruption — warned about, then recomputed), mirroring
+the torn/interior split of JSONL lines.
+
+**Streaming aggregation.**  :class:`StreamingSummary` folds metric
+sums incrementally — vectorized over sealed chunks, per-record over
+the tail — so a service can report live campaign-wide means without
+materializing records.  Streamed means are monitoring output: final
+summaries always come from
+:meth:`repro.campaigns.runner.CampaignRunner.report`, which fixes
+canonical scenario order so resumed runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.campaigns.checkpoint import (CheckpointIssue, ResultStore,
+                                        record_crc, scan_jsonl)
+from repro.experiments.api import _canonical_json, _decode_metrics
+
+__all__ = ["ColumnStore", "ColumnChunkWriter", "StreamingSummary",
+           "CHUNK_SCHEMA", "DEFAULT_CHUNK_RECORDS", "chunk_paths",
+           "read_chunk", "scan_chunks", "write_chunk"]
+
+#: Format marker embedded in every chunk file.
+CHUNK_SCHEMA = "repro-colstore/1"
+
+#: Rows buffered in the WAL tail before sealing a chunk.  Small
+#: enough that a chunk seals every few seconds on real campaigns,
+#: large enough that reads are vectorized in practice.
+DEFAULT_CHUNK_RECORDS = 64
+
+#: Arrays every chunk must carry to be loadable.
+_CHUNK_KEYS = ("schema", "scenario_id", "index", "seed",
+               "seed_present", "params_json", "elapsed_s", "crc",
+               "metric_names", "metric_values", "metric_present")
+
+_CHUNK_RE = re.compile(
+    r"^columns-(?P<label>.+)-(?P<seq>\d{8})\.npz$")
+
+
+def chunk_paths(directory: str) -> List[str]:
+    """Sealed chunk files under ``directory``, sorted by
+    ``(label, sequence)`` so reads are deterministic."""
+    if not os.path.isdir(directory):
+        return []
+    found = []
+    for name in os.listdir(directory):
+        match = _CHUNK_RE.match(name)
+        if match is not None:
+            found.append((match.group("label"),
+                          int(match.group("seq")),
+                          os.path.join(directory, name)))
+    return [path for _label, _seq, path in sorted(found)]
+
+
+def _metrics_columns(records: List[Dict[str, Any]]
+                     ) -> Tuple[List[str], np.ndarray, np.ndarray]:
+    """Build the ``(names, values, present)`` metric columns.
+
+    ``values`` is float64 with one row per metric name (sorted union
+    over the chunk) and NaN where absent; ``present`` is the boolean
+    mask distinguishing a *missing* metric from a legitimately-NaN
+    one — the distinction the bit-exact round trip depends on.
+    """
+    names = sorted({key for record in records
+                    for key in record["metrics"]})
+    values = np.full((len(names), len(records)), np.nan,
+                     dtype=np.float64)
+    present = np.zeros((len(names), len(records)), dtype=bool)
+    positions = {name: i for i, name in enumerate(names)}
+    for j, record in enumerate(records):
+        decoded = _decode_metrics(record["metrics"])
+        for key, value in decoded.items():
+            i = positions[key]
+            values[i, j] = value
+            present[i, j] = True
+    return names, values, present
+
+
+def write_chunk(path: str, records: List[Dict[str, Any]]) -> None:
+    """Seal ``records`` into one npz column chunk, atomically.
+
+    Records are checkpoint records as built by
+    :func:`repro.campaigns.checkpoint.make_record` (canonical or
+    decoded metrics both accepted).  The file appears at ``path`` via
+    tmp-file + rename, so readers never observe a half-written chunk.
+    """
+    if not records:
+        raise ValueError("cannot seal an empty chunk")
+    names, values, present = _metrics_columns(records)
+    columns = {
+        "schema": np.array([CHUNK_SCHEMA]),
+        "scenario_id": np.array(
+            [r["scenario_id"] for r in records]),
+        "index": np.array([int(r["index"]) for r in records],
+                          dtype=np.int64),
+        "seed": np.array(
+            [0 if r["seed"] is None else int(r["seed"])
+             for r in records], dtype=np.int64),
+        "seed_present": np.array(
+            [r["seed"] is not None for r in records], dtype=bool),
+        "params_json": np.array(
+            [_canonical_json(r["params"]) for r in records]),
+        "elapsed_s": np.array(
+            [float(r["elapsed_s"]) for r in records],
+            dtype=np.float64),
+        "crc": np.array(
+            [r.get("crc") or record_crc(r) for r in records]),
+        "metric_names": np.array(names),
+        "metric_values": values,
+        "metric_present": present,
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **columns)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def _chunk_rows(data) -> Iterator[Dict[str, Any]]:
+    """Reconstruct checkpoint records from loaded chunk arrays.
+
+    Metrics come back *decoded* (NaN/inf floats), matching what
+    :func:`repro.campaigns.checkpoint.scan_jsonl` returns.
+    """
+    names = [str(n) for n in data["metric_names"]]
+    values = data["metric_values"]
+    present = data["metric_present"]
+    seeds = data["seed"]
+    seed_present = data["seed_present"]
+    for j in range(len(data["scenario_id"])):
+        metrics = {names[i]: float(values[i, j])
+                   for i in range(len(names)) if present[i, j]}
+        yield {
+            "scenario_id": str(data["scenario_id"][j]),
+            "index": int(data["index"][j]),
+            "seed": int(seeds[j]) if seed_present[j] else None,
+            "params": json.loads(str(data["params_json"][j])),
+            "metrics": metrics,
+            "elapsed_s": float(data["elapsed_s"][j]),
+            "crc": str(data["crc"][j]),
+        }
+
+
+def read_chunk(path: str) -> List[Dict[str, Any]]:
+    """Load every row of one chunk as checkpoint records, without
+    damage classification (raises on an unreadable file)."""
+    with np.load(path, allow_pickle=False) as data:
+        return list(_chunk_rows(data))
+
+
+def scan_chunks(directory: str
+                ) -> Tuple[List[Dict[str, Any]],
+                           List[CheckpointIssue]]:
+    """Read every sealed chunk under ``directory``, classifying
+    damage.
+
+    Returns ``(records, issues)``.  An unreadable or schema-violating
+    chunk produces one whole-file issue: kind ``"torn"`` when it is
+    the highest-sequence chunk of its label (the artifact of a kill
+    mid-seal being impossible aside, a torn *final* chunk is the
+    benign case) and ``"chunk"`` otherwise.  A readable chunk is then
+    verified row by row: rows whose recomputed CRC mismatches the
+    stored one become ``"crc"`` issues and are skipped.
+    """
+    records: List[Dict[str, Any]] = []
+    issues: List[CheckpointIssue] = []
+    paths = chunk_paths(directory)
+    last_of_label: Dict[str, str] = {}
+    for path in paths:
+        match = _CHUNK_RE.match(os.path.basename(path))
+        last_of_label[match.group("label")] = path
+    final_chunks = set(last_of_label.values())
+    for path in paths:
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                missing = [k for k in _CHUNK_KEYS
+                           if k not in data.files]
+                if missing:
+                    issues.append(CheckpointIssue(
+                        path=path, line_no=0, kind="schema",
+                        detail=f"chunk missing columns {missing}"))
+                    continue
+                schema = str(data["schema"][0])
+                if schema != CHUNK_SCHEMA:
+                    issues.append(CheckpointIssue(
+                        path=path, line_no=0, kind="schema",
+                        detail=f"unknown chunk schema {schema!r}"))
+                    continue
+                rows = list(_chunk_rows(data))
+        except Exception as exc:
+            kind = "torn" if path in final_chunks else "chunk"
+            issues.append(CheckpointIssue(
+                path=path, line_no=0, kind=kind,
+                detail=f"unreadable chunk: {exc}"))
+            continue
+        for row_no, record in enumerate(rows):
+            computed = record_crc(record)
+            if record["crc"] != computed:
+                issues.append(CheckpointIssue(
+                    path=path, line_no=row_no + 1, kind="crc",
+                    detail=(f"stored {record['crc']}, computed "
+                            f"{computed}")))
+                continue
+            records.append(record)
+    return records, issues
+
+
+class StreamingSummary:
+    """Incrementally folded campaign-wide metric means.
+
+    Accepts per-record updates (:meth:`update`) and whole-column
+    updates (:meth:`update_columns`), ignoring NaN values and
+    ``*_digest`` identity metrics exactly like
+    :func:`repro.analysis.aggregate.aggregate_metrics` does — so a
+    live service can show converging means while chunks land.
+    Streamed means are a monitoring surface: committed summaries are
+    rebuilt in canonical scenario order by ``report()``.
+    """
+
+    def __init__(self):
+        self.count = 0
+        self._sums: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @staticmethod
+    def _tracked(name: str) -> bool:
+        return not name.endswith("_digest")
+
+    def update(self, metrics: Dict[str, float]) -> None:
+        """Fold one record's (decoded) metrics into the running
+        sums."""
+        self.count += 1
+        for key, value in metrics.items():
+            if not self._tracked(key) or value is None:
+                continue
+            value = float(value)
+            if np.isnan(value):
+                continue
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def update_columns(self, names: List[str], values: np.ndarray,
+                       present: np.ndarray) -> None:
+        """Fold one chunk's metric columns in, vectorized: one masked
+        sum per metric instead of one dict walk per record."""
+        self.count += int(values.shape[1]) if values.ndim == 2 else 0
+        for i, name in enumerate(names):
+            if not self._tracked(name):
+                continue
+            mask = present[i] & ~np.isnan(values[i])
+            n = int(mask.sum())
+            if n == 0:
+                continue
+            self._sums[name] = self._sums.get(name, 0.0) \
+                + float(values[i][mask].sum())
+            self._counts[name] = self._counts.get(name, 0) + n
+
+    def aggregates(self) -> Dict[str, float]:
+        """The running means, sorted by metric name."""
+        return {name: self._sums[name] / self._counts[name]
+                for name in sorted(self._sums)}
+
+
+class ColumnStore(ResultStore):
+    """The columnar record backend: WAL-tail JSONL + sealed npz
+    chunks.
+
+    Drop-in alternative to the JSONL
+    :class:`repro.campaigns.checkpoint.CampaignStore` — the runner
+    selects it via ``store="columnar"`` — with identical durability
+    per record and vectorized aggregation over sealed chunks.
+    Reading needs no mode switch at all: the base class's union scan
+    already merges both formats.
+    """
+
+    def __init__(self, matrix, cache_dir: str = ".repro-cache",
+                 chunk_records: int = DEFAULT_CHUNK_RECORDS):
+        super().__init__(matrix, cache_dir=cache_dir)
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        self.chunk_records = int(chunk_records)
+
+    def writer(self, label: str) -> "ColumnChunkWriter":
+        """Open the chunk-sealing writer for ``label``."""
+        self.ensure()
+        return ColumnChunkWriter(self.directory, label,
+                                 chunk_records=self.chunk_records)
+
+    def stream_aggregates(self) -> StreamingSummary:
+        """Fold the whole store into a :class:`StreamingSummary`:
+        vectorized over sealed chunks, per-record over JSONL tails.
+        Damaged chunks and lines are skipped silently — this is the
+        monitoring path; ``verify`` is the audit path."""
+        summary = StreamingSummary()
+        for path in chunk_paths(self.directory):
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    names = [str(n) for n in data["metric_names"]]
+                    summary.update_columns(names,
+                                           data["metric_values"],
+                                           data["metric_present"])
+            except Exception:
+                continue
+        tail_records, _issues = scan_jsonl(self.directory)
+        for record in tail_records.values():
+            summary.update(record["metrics"])
+        return summary
+
+
+class ColumnChunkWriter:
+    """Context-manager record sink that seals column chunks.
+
+    Every ``append`` first lands in the WAL tail (one flushed,
+    fsynced JSONL line — durable immediately), then buffers; at
+    ``chunk_records`` rows the buffer seals into an atomic npz chunk
+    and the tail truncates.  On open, any records a previous
+    (killed) writer left in the tail are sealed into their own chunk
+    first, so the tail never accumulates across generations.
+    """
+
+    def __init__(self, directory: str, label: str,
+                 chunk_records: int = DEFAULT_CHUNK_RECORDS):
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        self.directory = directory
+        self.label = label
+        self.chunk_records = int(chunk_records)
+        self.tail_path = os.path.join(directory,
+                                      f"results-{label}.jsonl")
+        self._buffer: List[Dict[str, Any]] = []
+        self._fh = None
+        self._seq = self._next_seq()
+
+    def _tail_records(self) -> List[Dict[str, Any]]:
+        """Valid records left in *this label's* tail file (damaged
+        lines skipped — they hold nothing recoverable)."""
+        from repro.campaigns.checkpoint import _classify_line
+        records: List[Dict[str, Any]] = []
+        with open(self.tail_path) as fh:
+            lines = [ln.strip() for ln in fh if ln.strip()]
+        for line_no, line in enumerate(lines):
+            record, _kind, _detail = _classify_line(
+                line, is_last=line_no == len(lines) - 1)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def _next_seq(self) -> int:
+        """First unused chunk sequence number for this label."""
+        highest = -1
+        for path in chunk_paths(self.directory):
+            match = _CHUNK_RE.match(os.path.basename(path))
+            if match.group("label") == self.label:
+                highest = max(highest, int(match.group("seq")))
+        return highest + 1
+
+    def __enter__(self) -> "ColumnChunkWriter":
+        from repro.campaigns.checkpoint import RecordWriter
+        if RecordWriter._ends_mid_line(self.tail_path):
+            RecordWriter._drop_torn_tail(self.tail_path)
+        if os.path.exists(self.tail_path) and \
+                os.path.getsize(self.tail_path) > 0:
+            # A previous writer died with unsealed records: seal the
+            # survivors now.  Records already sealed *and* still in
+            # the tail (kill between seal and truncate) get sealed
+            # twice; the union scan deduplicates by scenario id.
+            leftovers = self._tail_records()
+            if leftovers:
+                self._buffer.extend(leftovers)
+                self._seal()
+            else:
+                os.truncate(self.tail_path, 0)
+        self._fh = open(self.tail_path, "a")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._buffer:
+            self._seal()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (tail line now, chunk later)."""
+        assert self._fh is not None, "writer used outside `with`"
+        self._fh.write(_canonical_json(record))
+        self._fh.write("\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._buffer.append(record)
+        if len(self._buffer) >= self.chunk_records:
+            self._seal()
+
+    def _seal(self) -> None:
+        """Seal the buffer into the next chunk, then truncate the
+        tail (its records are now durable in the chunk)."""
+        path = os.path.join(
+            self.directory,
+            f"columns-{self.label}-{self._seq:08d}.npz")
+        write_chunk(path, self._buffer)
+        self._seq += 1
+        self._buffer = []
+        os.truncate(self.tail_path, 0)
+        if self._fh is not None:
+            # The append handle survives truncation ("a" mode writes
+            # at EOF), but reposition explicitly for portability.
+            self._fh.seek(0, os.SEEK_END)

@@ -136,12 +136,54 @@ def _record_files(directory: str) -> List[str]:
         if name.startswith("results-") and name.endswith(".jsonl"))
 
 
+def _chunk_for_scenario(directory: str,
+                        scenario_index: int) -> Optional[str]:
+    """The sealed column chunk holding the targeted scenario's row,
+    if the campaign ran on the columnar backend."""
+    from repro.campaigns.colstore import chunk_paths, read_chunk
+    for path in chunk_paths(directory):
+        try:
+            rows = read_chunk(path)
+        except Exception:
+            continue
+        if any(r["index"] == scenario_index for r in rows):
+            return path
+    return None
+
+
+def _flip_chunk_byte(path: str, spec: FaultSpec) -> str:
+    """Flip one deterministic byte inside a chunk file's body.
+
+    Chunk rows are compressed, so a single flipped byte makes the
+    whole chunk unreadable — the chunk-granularity analogue of a
+    corrupted record line, caught by the scan's whole-file
+    classification and recomputed on resume.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    # Land past the zip header region so the damage hits row data.
+    lo = max(len(data) // 4, 1)
+    pick = lo + mix64(spec.seed, spec.scenario_index) \
+        % max(len(data) - lo, 1)
+    pick = min(pick, len(data) - 1)
+    flipped = data[:pick] + bytes([data[pick] ^ 0xFF]) \
+        + data[pick + 1:]
+    with open(path, "wb") as fh:
+        fh.write(flipped)
+    return (f"corrupt-record: flipped byte {pick} of chunk "
+            f"{os.path.basename(path)} (holds scenario "
+            f"#{spec.scenario_index})")
+
+
 def _corrupt_record(directory: str, spec: FaultSpec) -> str:
     """Flip one digit in the targeted scenario's record line.
 
     The flip lands after the ``"metrics"`` key when possible, keeping
     the line valid JSON — the corruption only the per-record CRC can
-    catch.  Returns a description of what was (or was not) done.
+    catch.  When the record lives in a sealed column chunk instead of
+    a JSONL line, one byte of the chunk is flipped (compressed rows
+    make finer-grained damage equivalent anyway).  Returns a
+    description of what was (or was not) done.
     """
     for path in _record_files(directory):
         with open(path, "rb") as fh:
@@ -173,18 +215,34 @@ def _corrupt_record(directory: str, spec: FaultSpec) -> str:
             return (f"corrupt-record: flipped byte {pick} of scenario "
                     f"#{spec.scenario_index} in "
                     f"{os.path.basename(path)}")
+    chunk = _chunk_for_scenario(directory, spec.scenario_index)
+    if chunk is not None:
+        return _flip_chunk_byte(chunk, spec)
     return (f"corrupt-record: no record for scenario "
             f"#{spec.scenario_index} (nothing corrupted)")
 
 
 def _truncate_file(directory: str, spec: FaultSpec) -> str:
     """Cut a record file mid-line: drop the last complete record and
-    leave half of it as a torn trailing fragment."""
+    leave half of it as a torn trailing fragment.
+
+    On a columnar store the candidates include sealed chunks; a
+    picked chunk is cut to half its bytes — the torn-chunk artifact a
+    kill mid-publish cannot actually produce (chunks appear by
+    rename) but bit rot can, and the scan must absorb either way.
+    """
+    from repro.campaigns.colstore import chunk_paths
     files = _record_files(directory)
     files = [p for p in files if os.path.getsize(p) > 0]
+    files += chunk_paths(directory)
     if not files:
         return "truncate-file: no record files (nothing truncated)"
     path = files[mix64(spec.seed, 1) % len(files)]
+    if path.endswith(".npz"):
+        size = os.path.getsize(path)
+        os.truncate(path, max(size // 2, 1))
+        return (f"truncate-file: cut chunk "
+                f"{os.path.basename(path)} to half size")
     with open(path, "rb") as fh:
         data = fh.read()
     lines = [ln for ln in data.split(b"\n") if ln.strip()]

@@ -30,6 +30,7 @@ to a fault-free run's (``tests/campaigns/test_chaos.py``).
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, \
@@ -40,7 +41,8 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence,
                     Tuple)
 
 from repro.analysis.aggregate import aggregate_metrics, group_rows
-from repro.campaigns.checkpoint import (CampaignStore, make_record,
+from repro.campaigns.checkpoint import (CampaignStore, ResultStore,
+                                        make_record,
                                         write_json_atomic)
 from repro.campaigns.faults import FaultPlan, FaultSpec
 from repro.campaigns.matrix import (CampaignError, CampaignMatrix,
@@ -48,7 +50,15 @@ from repro.campaigns.matrix import (CampaignError, CampaignMatrix,
 from repro.core.mix import uniform01
 from repro.experiments.api import _canonical, execute_task
 
-__all__ = ["CampaignRunner", "CampaignStatus", "parse_shard"]
+__all__ = ["CampaignRunner", "CampaignStatus", "STORE_BACKENDS",
+           "parse_shard"]
+
+#: Record-store backends ``CampaignRunner(store=...)`` accepts:
+#: ``"jsonl"`` (one flushed line per scenario) and ``"columnar"``
+#: (WAL tail + sealed npz column chunks — see
+#: :mod:`repro.campaigns.colstore`).  Reading always unions both
+#: formats, so the choice only shapes the write path.
+STORE_BACKENDS = ("jsonl", "columnar")
 
 
 def parse_shard(text: str) -> Tuple[int, int]:
@@ -104,6 +114,10 @@ class CampaignStatus:
     #: exhausted); a later run retries them, and completion clears
     #: them from this count.
     quarantined: int = 0
+    #: Whether the campaign has any on-disk state at all.  A
+    #: never-run campaign reports ``started=False`` with a clean
+    #: zero count instead of pretending an empty directory exists.
+    started: bool = True
 
     @property
     def pending(self) -> int:
@@ -146,6 +160,13 @@ class CampaignRunner:
             deterministically from the scenario id).
         fault_plan: a :class:`repro.campaigns.faults.FaultPlan` to
             inject — testing/chaos only.
+        store: record-store backend, one of :data:`STORE_BACKENDS`.
+            ``"columnar"`` writes sealed npz column chunks behind a
+            WAL tail (:mod:`repro.campaigns.colstore`); reads always
+            union both formats, so switching backends mid-campaign
+            is safe.
+        chunk_records: rows per sealed chunk for the columnar
+            backend (``None`` = the backend default).
 
     Example::
 
@@ -159,7 +180,9 @@ class CampaignRunner:
                  timeout_s: Optional[float] = None,
                  max_retries: int = 2,
                  retry_backoff_s: float = 0.05,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 store: str = "jsonl",
+                 chunk_records: Optional[int] = None):
         if shard[1] < 1 or not 0 <= shard[0] < shard[1]:
             raise ValueError(f"invalid shard {shard}")
         if timeout_s is not None and timeout_s <= 0:
@@ -168,6 +191,10 @@ class CampaignRunner:
             raise ValueError("max_retries must be >= 0")
         if retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be >= 0")
+        if store not in STORE_BACKENDS:
+            raise ValueError(
+                f"unknown store backend {store!r}; "
+                f"known: {list(STORE_BACKENDS)}")
         self.jobs = max(int(jobs), 1)
         self.cache_dir = cache_dir
         self.shard = (int(shard[0]), int(shard[1]))
@@ -176,6 +203,8 @@ class CampaignRunner:
         self.max_retries = int(max_retries)
         self.retry_backoff_s = float(retry_backoff_s)
         self.fault_plan = fault_plan
+        self.store = store
+        self.chunk_records = chunk_records
         if fault_plan is not None and fault_plan.requires_supervision \
                 and not self._pooled:
             raise CampaignError(
@@ -190,7 +219,13 @@ class CampaignRunner:
         """Whether execution goes through a supervised process pool."""
         return self.jobs > 1 or self.timeout_s is not None
 
-    def _store(self, matrix: CampaignMatrix) -> CampaignStore:
+    def _store(self, matrix: CampaignMatrix) -> ResultStore:
+        if self.store == "columnar":
+            from repro.campaigns.colstore import ColumnStore
+            kwargs = {} if self.chunk_records is None else \
+                {"chunk_records": self.chunk_records}
+            return ColumnStore(matrix, cache_dir=self.cache_dir,
+                               **kwargs)
         return CampaignStore(matrix, cache_dir=self.cache_dir)
 
     def _emit(self, line: str) -> None:
@@ -210,7 +245,7 @@ class CampaignRunner:
                                  attempt)
         return self.retry_backoff_s * (2 ** attempt) * jitter
 
-    def _status(self, matrix: CampaignMatrix, store: CampaignStore,
+    def _status(self, matrix: CampaignMatrix, store: ResultStore,
                 current: Optional[set] = None,
                 done: Optional[set] = None) -> CampaignStatus:
         # Count only records matching the *current* expansion:
@@ -218,6 +253,16 @@ class CampaignRunner:
         # calibration fingerprint, so records can go stale (and get
         # recomputed) without the matrix digest changing.  Callers
         # that already expanded / read the store pass the sets in.
+        started = os.path.isdir(store.directory)
+        if not started:
+            # Never-run campaigns answer from the matrix alone — no
+            # directory probing beyond the existence check, and no
+            # side effects on disk.
+            return CampaignStatus(
+                name=matrix.name, digest=matrix.digest(),
+                total=matrix.total_scenarios(), completed=0,
+                directory=store.directory, quarantined=0,
+                started=False)
         if current is None:
             current = {s.scenario_id for s in matrix.expand()}
         if done is None:
@@ -229,7 +274,8 @@ class CampaignRunner:
             total=matrix.total_scenarios(),
             completed=len(completed),
             directory=store.directory,
-            quarantined=len(quarantined))
+            quarantined=len(quarantined),
+            started=True)
 
     # -- public API ---------------------------------------------------
 
@@ -283,7 +329,7 @@ class CampaignRunner:
                    f"#{scenario.index} ({scenario.scenario_id}) "
                    f"done in {elapsed:.2f} s")
 
-    def _quarantine(self, store: CampaignStore,
+    def _quarantine(self, store: ResultStore,
                     scenario: CampaignScenario, kind: str,
                     message: str, traceback_text: str,
                     attempts: int) -> None:
@@ -301,7 +347,7 @@ class CampaignRunner:
                    f"({scenario.scenario_id}) QUARANTINED after "
                    f"{attempts} attempts ({kind}: {message})")
 
-    def _handle_failure(self, store: CampaignStore,
+    def _handle_failure(self, store: ResultStore,
                         scenario: CampaignScenario, attempt: int,
                         kind: str, message: str, traceback_text: str,
                         retry: Callable[[CampaignScenario, int, float],
@@ -323,7 +369,7 @@ class CampaignRunner:
             self._quarantine(store, scenario, kind, message,
                              traceback_text, attempts=attempt + 1)
 
-    def _harness_error(self, store: CampaignStore,
+    def _harness_error(self, store: ResultStore,
                        scenario: CampaignScenario,
                        exc: BaseException) -> None:
         """An error in the campaign harness itself (not the
@@ -340,7 +386,7 @@ class CampaignRunner:
     # -- serial execution ---------------------------------------------
 
     def _run_serial(self, pending: Sequence[CampaignScenario],
-                    out, store: CampaignStore) -> None:
+                    out, store: ResultStore) -> None:
         position = 0
         for scenario in pending:
             attempt = 0
@@ -369,7 +415,7 @@ class CampaignRunner:
     # -- supervised pool execution ------------------------------------
 
     def _run_pool(self, pending: Sequence[CampaignScenario],
-                  out, store: CampaignStore) -> None:
+                  out, store: ResultStore) -> None:
         """Supervised pool loop: sliding-window submission (so
         deadlines measure execution, not queueing), a wall-clock
         watchdog that kills hung workers, retry/quarantine on

@@ -21,12 +21,17 @@ Commands:
 * ``campaign`` — thousand-scenario sweeps: ``campaign list`` shows the
   registered matrices, ``campaign run`` executes one (sharded via
   ``--shard I/N``, resumable from checkpoints, supervised via
-  ``--timeout``/``--retries``; exits 0 complete / 3 partial / 4
-  quarantined failures), ``campaign status`` reports progress,
-  ``campaign report`` builds tidy summary tables, ``campaign verify``
-  audits checkpoint integrity (CRC) and the quarantine, ``campaign
-  chaos`` runs the deterministic fault-injection wall
-  (docs/resilience.md).
+  ``--timeout``/``--retries``, record backend via ``--store
+  jsonl|columnar``; exits 0 complete / 3 partial / 4 quarantined
+  failures), ``campaign status`` reports progress, ``campaign
+  report`` builds tidy summary tables, ``campaign verify`` audits
+  checkpoint integrity (CRC) and the quarantine, ``campaign chaos``
+  runs the deterministic fault-injection wall (docs/resilience.md).
+  Service mode (docs/service.md): ``campaign serve`` starts the
+  long-running submission server, ``campaign submit`` sends a
+  campaign to it and (by default) waits, mapping the final state to
+  the same 0/3/4 exit contract, and ``campaign results`` fetches the
+  summary from the live server or straight off the store.
 * ``calibrate`` — regenerate the surrogate PHY backend's calibration
   table from the full bit-exact pipeline.
 * ``bench`` — measure PHY and campaign-engine throughput and write
@@ -384,6 +389,7 @@ def _cmd_campaign_run(args) -> int:
     runner = CampaignRunner(
         jobs=args.jobs, cache_dir=args.cache_dir, shard=shard,
         timeout_s=args.timeout, max_retries=args.retries,
+        store=args.store,
         progress=lambda line: print(line, flush=True))
     status = runner.run(matrix, limit=args.limit)
     print(f"{status.name}: {status.completed}/{status.total} "
@@ -482,6 +488,14 @@ def _cmd_campaign_status(args) -> int:
     if matrix is None:
         return code
     status = CampaignRunner(cache_dir=args.cache_dir).status(matrix)
+    if not status.started:
+        # A never-run campaign is a clean answer, not a pile of
+        # missing-checkpoint caveats — and asking must not create
+        # the directory it reports on.
+        print(f"{status.name} [{status.digest}]: not started "
+              f"(0/{status.total} complete; `campaign run` or "
+              f"`campaign submit` to begin)")
+        return 0
     state = "done" if status.done else \
         f"{status.pending} pending"
     if status.quarantined:
@@ -523,6 +537,156 @@ def _cmd_campaign_report(args) -> int:
         write_json_atomic(args.output, summary)
         print(f"wrote {args.output}")
     return 0
+
+
+def _cmd_campaign_serve(args) -> int:
+    from repro.campaigns.service import CampaignService
+
+    try:
+        service = CampaignService(
+            cache_dir=args.cache_dir, host=args.host, port=args.port,
+            jobs=args.jobs, timeout_s=args.timeout,
+            max_retries=args.retries, store=args.store,
+            chunk_records=args.chunk_records, once=args.once,
+            emit=lambda line: print(line, flush=True))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        service.serve()
+    except KeyboardInterrupt:
+        print("interrupted; submissions resume on the next serve",
+              flush=True)
+    return 0
+
+
+def _submission_options(args) -> Dict[str, Any]:
+    """Per-submission runner overrides from the submit flags."""
+    options: Dict[str, Any] = {}
+    if args.jobs is not None:
+        options["jobs"] = args.jobs
+    if args.timeout is not None:
+        options["timeout_s"] = args.timeout
+    if args.retries is not None:
+        options["max_retries"] = args.retries
+    if args.store is not None:
+        options["store"] = args.store
+    if args.limit is not None:
+        options["limit"] = args.limit
+    if args.fault is not None:
+        options["fault"] = args.fault
+        options["fault_seed"] = args.fault_seed
+        if args.hang is not None:
+            options["hang_s"] = args.hang
+    return options
+
+
+def _cmd_campaign_submit(args) -> int:
+    from repro.campaigns.service import (ServiceError,
+                                         ServiceUnavailable, request,
+                                         state_exit_code,
+                                         wait_for_submission)
+
+    try:
+        response = request(args.cache_dir, {
+            "op": "submit", "campaign": args.campaign,
+            "options": _submission_options(args)})
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not response.get("ok"):
+        print(f"error: {response.get('error', 'submit failed')}",
+              file=sys.stderr)
+        return 2 if response.get("unknown_campaign") else 1
+    sub_id = response["id"]
+    print(f"{sub_id}: {args.campaign} queued")
+    if args.no_wait:
+        return 0
+    try:
+        final = wait_for_submission(
+            args.cache_dir, sub_id, poll_s=args.poll,
+            emit=lambda line: print(line, flush=True))
+    except ServiceUnavailable:
+        # The server exited between polls (e.g. `serve --once`
+        # draining the queue).  The store outlives the server, so
+        # answer from it rather than failing a finished run.
+        print(f"{sub_id}: server exited; reading local results")
+        return _local_results(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    state = final.get("state", "error")
+    print(f"{sub_id}: {state} ({final.get('completed', 0)}/"
+          f"{final.get('total', 0)} scenarios)")
+    if state == "error" and final.get("error"):
+        print(f"error: {final['error']}", file=sys.stderr)
+    if state == "quarantined":
+        print(f"error: {final.get('quarantined', 0)} scenario(s) "
+              f"quarantined — see `campaign verify "
+              f"{args.campaign}`", file=sys.stderr)
+    # Same contract as `campaign run`: 0 complete / 3 partial /
+    # 4 quarantined (submission harness errors exit 1).
+    return state_exit_code(state)
+
+
+def _cmd_campaign_results(args) -> int:
+    from repro.campaigns.service import (ServiceError,
+                                         ServiceUnavailable, request)
+
+    try:
+        response = request(args.cache_dir, {
+            "op": "results", "campaign": args.campaign})
+    except ServiceUnavailable:
+        # No live server: answer straight off the shared store —
+        # the record formats are the same either way.
+        return _local_results(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not response.get("ok"):
+        print(f"error: {response.get('error', 'results failed')}",
+              file=sys.stderr)
+        return 2 if response.get("unknown_campaign") else 1
+    return _print_results(args.campaign, response)
+
+
+def _local_results(args) -> int:
+    from repro.campaigns import CampaignRunner
+
+    matrix, code = _campaign_matrix(args)
+    if matrix is None:
+        return code
+    runner = CampaignRunner(cache_dir=args.cache_dir)
+    status = runner.status(matrix)
+    if not status.started:
+        return _print_results(args.campaign, {
+            "state": "not-started", "completed": 0,
+            "total": status.total})
+    summary = runner.report(matrix)
+    state = "complete" if status.done else \
+        ("quarantined" if status.failed else "partial")
+    return _print_results(args.campaign, {
+        "state": state, "completed": status.completed,
+        "total": status.total, "quarantined": status.quarantined,
+        "summary": summary})
+
+
+def _print_results(campaign: str, response: Dict[str, Any]) -> int:
+    """Render a results payload; exit code mirrors ``campaign run``
+    (not-started counts as partial — nothing is complete yet)."""
+    from repro.campaigns.service import state_exit_code
+
+    state = response.get("state", "error")
+    print(f"{campaign}: {response.get('completed', 0)}/"
+          f"{response.get('total', 0)} scenarios ({state})")
+    summary = response.get("summary")
+    if summary and summary.get("aggregates"):
+        rows = [[key, _format_cell(summary["aggregates"][key])]
+                for key in summary["metrics"]]
+        print(format_table(["metric", "mean"], rows))
+    if state == "not-started":
+        return 3
+    return state_exit_code(state)
 
 
 def _format_cell(value) -> str:
@@ -700,6 +864,15 @@ def build_parser() -> argparse.ArgumentParser:
             cp.add_argument("--retries", type=int, default=2,
                             help="failed-scenario retries before "
                                  "quarantine (default 2)")
+            cp.add_argument("--store",
+                            choices=["jsonl", "columnar"],
+                            default="jsonl",
+                            help="record backend: one JSONL line "
+                                 "per scenario (default) or sealed "
+                                 "npz column chunks behind a WAL "
+                                 "tail (docs/service.md); reads "
+                                 "union both, so this only shapes "
+                                 "the write path")
         if verb == "report":
             cp.add_argument("--group-by", default=None,
                             help="comma-separated varied parameters "
@@ -725,6 +898,76 @@ def build_parser() -> argparse.ArgumentParser:
             cp.add_argument("--cache-root", default=None,
                             help="parent dir for the wall's "
                                  "temporary cache dirs")
+
+    cp = csub.add_parser(
+        "serve",
+        help="start the long-running submission server "
+             "(docs/service.md); submissions resume across "
+             "restarts from the durable queue + checkpoints")
+    cp.add_argument("--cache-dir", default=".repro-cache")
+    cp.add_argument("--host", default="127.0.0.1",
+                    help="bind address (local service — keep it on "
+                         "a loopback or trusted interface)")
+    cp.add_argument("--port", type=int, default=0,
+                    help="bind port (0 = ephemeral; the bound port "
+                         "is advertised in the endpoint file)")
+    cp.add_argument("--jobs", type=int, default=1,
+                    help="default worker processes per submission")
+    cp.add_argument("--timeout", type=float, default=None,
+                    help="default per-scenario deadline (seconds)")
+    cp.add_argument("--retries", type=int, default=2,
+                    help="default retries before quarantine")
+    cp.add_argument("--store", choices=["jsonl", "columnar"],
+                    default="columnar",
+                    help="default record backend for served "
+                         "campaigns (columnar)")
+    cp.add_argument("--chunk-records", type=int, default=None,
+                    help="rows per sealed column chunk")
+    cp.add_argument("--once", action="store_true",
+                    help="exit after the first submission reaches "
+                         "a terminal state (CI smoke mode)")
+
+    cp = csub.add_parser(
+        "submit",
+        help="submit a campaign to the running server and wait "
+             "(exits 0 complete, 3 partial, 4 quarantined, "
+             "1 no server)")
+    cp.add_argument("campaign",
+                    help="campaign name (see `campaign list`)")
+    cp.add_argument("--cache-dir", default=".repro-cache")
+    cp.add_argument("--no-wait", action="store_true",
+                    help="return after acceptance instead of "
+                         "polling to a terminal state")
+    cp.add_argument("--poll", type=float, default=0.2,
+                    help="status poll interval while waiting "
+                         "(seconds)")
+    cp.add_argument("--jobs", type=int, default=None,
+                    help="override the server's worker processes")
+    cp.add_argument("--timeout", type=float, default=None,
+                    help="override the per-scenario deadline")
+    cp.add_argument("--retries", type=int, default=None,
+                    help="override retries before quarantine")
+    cp.add_argument("--store", choices=["jsonl", "columnar"],
+                    default=None,
+                    help="override the record backend")
+    cp.add_argument("--limit", type=int, default=None,
+                    help="run at most K pending scenarios")
+    cp.add_argument("--fault", default=None,
+                    help="inject a seeded fault kind into the "
+                         "served run (chaos testing; see "
+                         "`campaign chaos --help`)")
+    cp.add_argument("--fault-seed", type=int, default=0,
+                    help="fault-plan seed for --fault")
+    cp.add_argument("--hang", type=float, default=None,
+                    help="hang-fault sleep seconds for --fault")
+
+    cp = csub.add_parser(
+        "results",
+        help="fetch a campaign's summary from the live server, or "
+             "straight off the store when none is running")
+    cp.add_argument("campaign",
+                    help="campaign name (see `campaign list`)")
+    cp.add_argument("--cache-dir", default=".repro-cache")
     return parser
 
 
@@ -748,6 +991,9 @@ _CAMPAIGN_HANDLERS = {
     "report": _cmd_campaign_report,
     "verify": _cmd_campaign_verify,
     "chaos": _cmd_campaign_chaos,
+    "serve": _cmd_campaign_serve,
+    "submit": _cmd_campaign_submit,
+    "results": _cmd_campaign_results,
 }
 
 

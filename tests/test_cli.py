@@ -367,3 +367,163 @@ class TestCampaignResilienceCLI:
         out = capsys.readouterr().out
         assert "truncate-file: PASS" in out
         assert "chaos wall PASSED" in out
+
+
+class TestCampaignServiceCLI:
+    """serve/submit/results verbs + the not-started status fix."""
+
+    def test_status_not_started_is_clean(self, tmp_path, capsys):
+        import os
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "status", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "not started" in out and "0/8" in out
+        assert "campaign submit" in out
+        # reporting on nothing must not create anything
+        assert not os.path.exists(cache)
+
+    def test_run_with_columnar_store(self, tmp_path, capsys):
+        from repro.campaigns import CampaignStore, get_campaign
+        from repro.campaigns.colstore import chunk_paths
+
+        cache = str(tmp_path / "cache")
+        assert main(["campaign", "run", "smoke-tiny",
+                     "--cache-dir", cache, "--store", "columnar"]) == 0
+        store = CampaignStore(get_campaign("smoke-tiny"),
+                              cache_dir=cache)
+        assert chunk_paths(store.directory), "no chunks sealed"
+        capsys.readouterr()
+        # report and verify read chunks through the union scan
+        assert main(["campaign", "report", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        assert "8/8 scenarios summarized" in capsys.readouterr().out
+        assert main(["campaign", "verify", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        assert "8/8 valid records" in capsys.readouterr().out
+
+    def test_submit_without_server_exits_1(self, tmp_path, capsys):
+        assert main(["campaign", "submit", "smoke-tiny",
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "no campaign service" in capsys.readouterr().err
+
+    def test_results_without_server_reads_local_store(self, tmp_path,
+                                                      capsys):
+        cache = str(tmp_path / "cache")
+        # nothing run anywhere: not-started counts as partial (3)
+        assert main(["campaign", "results", "smoke-tiny",
+                     "--cache-dir", cache]) == 3
+        assert "(not-started)" in capsys.readouterr().out
+        assert main(["campaign", "results", "nope",
+                     "--cache-dir", cache]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+        assert main(["campaign", "run", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "results", "smoke-tiny",
+                     "--cache-dir", cache]) == 0
+        assert "8/8 scenarios (complete)" in capsys.readouterr().out
+
+    @staticmethod
+    def _serve(cache):
+        """A quiet in-process server for CLI round-trip tests."""
+        import os
+        import threading
+        import time
+        from contextlib import contextmanager
+
+        from repro.campaigns.service import CampaignService, request
+
+        @contextmanager
+        def running():
+            service = CampaignService(cache_dir=cache, port=0,
+                                      jobs=1, retry_backoff_s=0.001,
+                                      chunk_records=2)
+            thread = threading.Thread(target=service.serve,
+                                      daemon=True)
+            thread.start()
+            deadline = time.time() + 30.0
+            while not os.path.exists(service.endpoint_path):
+                assert thread.is_alive() and time.time() < deadline
+                time.sleep(0.01)
+            try:
+                yield service
+            finally:
+                try:
+                    request(cache, {"op": "shutdown"})
+                except Exception:
+                    pass
+                thread.join(timeout=60.0)
+
+        return running()
+
+    def test_submit_exit_code_contract(self, tmp_path, capsys):
+        _register_fragile_campaign()
+        cache = str(tmp_path / "cache")
+        with self._serve(cache):
+            assert main(["campaign", "submit", "nope",
+                         "--cache-dir", cache]) == 2
+            assert "unknown campaign" in capsys.readouterr().err
+
+            assert main(["campaign", "submit", "smoke-tiny",
+                         "--cache-dir", cache, "--limit", "3",
+                         "--poll", "0.02"]) == 3
+            out = capsys.readouterr().out
+            assert "queued" in out and "partial (3/8" in out
+
+            assert main(["campaign", "submit", "smoke-tiny",
+                         "--cache-dir", cache, "--poll", "0.02"]) == 0
+            assert "complete (8/8" in capsys.readouterr().out
+
+            assert main(["campaign", "submit", "cli-fragile-camp",
+                         "--cache-dir", cache, "--retries", "0",
+                         "--poll", "0.02"]) == 4
+            captured = capsys.readouterr()
+            assert "quarantined" in captured.out
+            assert "campaign verify" in captured.err
+
+            assert main(["campaign", "results", "smoke-tiny",
+                         "--cache-dir", cache]) == 0
+            assert "8/8 scenarios (complete)" \
+                in capsys.readouterr().out
+
+    def test_submit_no_wait_returns_immediately(self, tmp_path,
+                                                capsys):
+        from repro.campaigns.service import wait_for_submission
+
+        cache = str(tmp_path / "cache")
+        with self._serve(cache):
+            assert main(["campaign", "submit", "smoke-tiny",
+                         "--cache-dir", cache, "--no-wait"]) == 0
+            out = capsys.readouterr().out
+            assert "queued" in out and "complete" not in out
+            # the server still finishes it in the background
+            final = wait_for_submission(cache, "sub-00001",
+                                        poll_s=0.05, timeout=120.0)
+            assert final["state"] == "complete"
+
+    def test_serve_once_drains_queue_and_exits(self, tmp_path,
+                                               capsys):
+        import threading
+
+        cache = str(tmp_path / "cache")
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(["campaign", "serve", "--cache-dir", cache,
+                      "--once", "--chunk-records", "2"])))
+        thread.start()
+        import os
+        import time
+        endpoint = os.path.join(cache, "service", "endpoint.json")
+        deadline = time.time() + 30.0
+        while not os.path.exists(endpoint):
+            assert thread.is_alive() and time.time() < deadline
+            time.sleep(0.01)
+        code = main(["campaign", "submit", "smoke-tiny",
+                     "--cache-dir", cache, "--poll", "0.02"])
+        thread.join(timeout=120.0)
+        assert not thread.is_alive() and codes == [0]
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "listening" in out and "service stopped" in out
