@@ -11,6 +11,13 @@ consecutive silent losses).
 :func:`per_hop_delivery` and :func:`handoff_disruption` are the mesh
 metrics: per-link frame delivery along a relay chain, and how long
 traffic stalls around an AP handoff.
+
+:func:`decodable_frame_rate`, :func:`rebuffer_time` and
+:func:`deadline_miss_ratio` are the video QoE metrics consumed by the
+``video`` experiment: what fraction of frames became decodable at
+all, how long playback stalled waiting for late frames (with stalls
+cascading into every later deadline), and how many frames missed
+their original playout deadline.
 """
 
 from __future__ import annotations
@@ -25,7 +32,9 @@ from repro.traces.format import LinkTrace
 
 __all__ = ["RateAccuracy", "rate_selection_accuracy", "run_lengths",
            "ccdf", "settling_time", "frame_log_digest",
-           "per_hop_delivery", "handoff_disruption"]
+           "per_hop_delivery", "handoff_disruption",
+           "decodable_frame_rate", "rebuffer_time",
+           "deadline_miss_ratio"]
 
 
 @dataclass(frozen=True)
@@ -169,6 +178,64 @@ def handoff_disruption(delivery_times: Sequence[float],
         first = float(after[0]) if after.size else float(duration)
         gaps.append(first - last)
     return float(np.mean(gaps))
+
+
+def decodable_frame_rate(decode_times: Sequence[Optional[float]]
+                         ) -> float:
+    """Fraction of video frames that ever became decodable.
+
+    ``decode_times`` holds, per frame in display order, the time the
+    rateless decoder crossed its threshold — or ``None`` for frames
+    that never decoded.  Returns NaN for an empty sequence.
+    """
+    if not decode_times:
+        return float("nan")
+    decoded = sum(1 for t in decode_times if t is not None)
+    return decoded / len(decode_times)
+
+
+def rebuffer_time(decode_times: Sequence[Optional[float]],
+                  deadlines: Sequence[float]) -> float:
+    """Total seconds of playback stall, stalls cascading.
+
+    The player walks frames in display order carrying an accumulated
+    delay: frame ``i`` plays at ``deadlines[i] + delay``; if its
+    decode completed later than that, the difference is a rebuffer
+    stall added to both the total and the carried delay (a late frame
+    pushes every later deadline back — the standard streaming QoE
+    model).  Frames that never decoded are skipped: the player drops
+    them rather than waiting forever, so they hurt
+    :func:`decodable_frame_rate` but not this metric.
+    """
+    if len(decode_times) != len(deadlines):
+        raise ValueError("decode_times and deadlines must align")
+    delay = 0.0
+    total = 0.0
+    for done, deadline in zip(decode_times, deadlines):
+        if done is None:
+            continue
+        stall = done - (deadline + delay)
+        if stall > 0:
+            total += stall
+            delay += stall
+    return total
+
+
+def deadline_miss_ratio(decode_times: Sequence[Optional[float]],
+                        deadlines: Sequence[float]) -> float:
+    """Fraction of frames not decodable by their original deadline.
+
+    A frame counts as missed when it never decoded or decoded after
+    its own (non-cascaded) playout deadline.  Returns NaN for an
+    empty sequence.
+    """
+    if len(decode_times) != len(deadlines):
+        raise ValueError("decode_times and deadlines must align")
+    if not deadlines:
+        return float("nan")
+    missed = sum(1 for done, deadline in zip(decode_times, deadlines)
+                 if done is None or done > deadline)
+    return missed / len(deadlines)
 
 
 def run_lengths(events: Iterable[bool]) -> List[int]:

@@ -20,6 +20,11 @@ at:
   shadowing spread x roaming speed across geometry-driven relay
   chains (hidden terminals and handoffs emerge from positions, not
   knobs).
+* ``video-smoke`` / ``video-matrix`` — the video QoE family over the
+  :mod:`repro.experiments.video` experiment: rateless-over-PPR vs
+  plain ARQ across scenario x SNR x airtime budget (and Doppler in
+  the matrix), each cell reporting both schemes' decodable-frame
+  rate, rebuffer time and deadline misses.
 
 The ``cell``-based campaigns run the Fig. 12 star topology; the mesh
 campaigns run :class:`repro.sim.mesh.network.MeshNetwork`.  All use
@@ -171,6 +176,38 @@ register_campaign(CampaignMatrix(
     base={"n_relays": 2, "duration": 0.04,
           "phy_backend": "surrogate"},
     seed=29,
+))
+
+register_campaign(CampaignMatrix(
+    name="video-smoke",
+    experiment="video",
+    description="8-scenario video QoE CI smoke matrix (seconds, "
+                "surrogate)",
+    axes=(
+        Axis("scenario", ("fading", "walking")),
+        Axis("mean_snr_db", (7.0, 8.0)),
+        Axis("budget_factor", (1.5, 2.0)),
+    ),
+    base={"workload": "generated", "video_duration": 0.4,
+          "video_bitrate_bps": 1.2e5, "phy_backend": "surrogate"},
+    seed=2010,
+))
+
+register_campaign(CampaignMatrix(
+    name="video-matrix",
+    experiment="video",
+    description="scenario x SNR x Doppler x airtime budget video QoE "
+                "cross (72 scenarios)",
+    axes=(
+        Axis("scenario", ("fading", "walking")),
+        Axis("mean_snr_db", (6.0, 7.0, 8.0)),
+        Axis("doppler_hz", (200.0, 1000.0)),
+        Axis("budget_factor", (1.5, 2.0, 3.0)),
+    ),
+    base={"workload": "generated", "video_duration": 0.8,
+          "video_bitrate_bps": 1.2e5, "phy_backend": "surrogate"},
+    replicates=2,
+    seed=2011,
 ))
 
 register_campaign(CampaignMatrix(

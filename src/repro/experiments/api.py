@@ -60,6 +60,7 @@ _EXPERIMENT_MODULES = (
     "fig07_static", "fig08_mobile", "fig10_interference",
     "fig13_slow_fading", "fig15_convergence", "fig16_fast_fading",
     "fig17_interference", "mesh", "tab01_silent", "tab02_rates",
+    "video",
 )
 
 

@@ -104,6 +104,12 @@ class PhyFrameOutcome:
         hints: per-bit SoftPHY hints (posterior-LLR magnitudes), or
             ``None`` when the caller asked to skip their synthesis
             (``need_hints=False``).
+        error_mask: boolean array over the information bits marking
+            the positions the channel flipped, or ``None`` unless the
+            caller asked for it (``need_error_mask=True``).  Chunk
+            consumers (PPR-style salvage, the rateless video decoder)
+            use it to reconstruct what each chunk of a failed frame
+            actually carried.
     """
 
     detected: bool
@@ -114,6 +120,7 @@ class PhyFrameOutcome:
     n_bit_errors: int
     n_info_bits: int
     hints: Optional[np.ndarray] = None
+    error_mask: Optional[np.ndarray] = None
 
 
 class PhyBackend(abc.ABC):
@@ -164,7 +171,8 @@ class PhyBackend(abc.ABC):
                       snr_db_per_symbol: np.ndarray,
                       n_payload_bits: int, rng: np.random.Generator,
                       interference_mask: Optional[np.ndarray] = None,
-                      need_hints: bool = True) -> PhyFrameOutcome:
+                      need_hints: bool = True,
+                      need_error_mask: bool = False) -> PhyFrameOutcome:
         """Simulate one frame against a per-symbol SNR trajectory.
 
         Args:
@@ -184,6 +192,12 @@ class PhyBackend(abc.ABC):
             need_hints: set False to skip synthesizing/collecting the
                 per-bit hints array when only the scalar outcome is
                 needed (a throughput win for the surrogate).
+            need_error_mask: set True to also report the per-bit error
+                positions (``PhyFrameOutcome.error_mask``).  Off by
+                default — the surrogate draws error positions *after*
+                every pre-existing draw, so leaving this off keeps its
+                random stream (and every golden that depends on it)
+                bit-identical to before the field existed.
 
         Returns:
             A :class:`PhyFrameOutcome`.
@@ -338,7 +352,8 @@ class FullPhyBackend(PhyBackend):
                       snr_db_per_symbol: np.ndarray,
                       n_payload_bits: int, rng: np.random.Generator,
                       interference_mask: Optional[np.ndarray] = None,
-                      need_hints: bool = True) -> PhyFrameOutcome:
+                      need_hints: bool = True,
+                      need_error_mask: bool = False) -> PhyFrameOutcome:
         """Transmit, propagate, and BCJR-decode one real frame.
 
         See :meth:`PhyBackend.frame_outcome` for the argument
@@ -383,7 +398,9 @@ class FullPhyBackend(PhyBackend):
             snr_db=float(rx.snr_db),
             n_bit_errors=int(rx.error_mask.sum()),
             n_info_bits=n_info,
-            hints=rx.hints if need_hints else None)
+            hints=rx.hints if need_hints else None,
+            error_mask=rx.error_mask.astype(bool)
+            if need_error_mask else None)
 
 
 class SurrogatePhyBackend(PhyBackend):
@@ -448,7 +465,8 @@ class SurrogatePhyBackend(PhyBackend):
                       snr_db_per_symbol: np.ndarray,
                       n_payload_bits: int, rng: np.random.Generator,
                       interference_mask: Optional[np.ndarray] = None,
-                      need_hints: bool = True) -> PhyFrameOutcome:
+                      need_hints: bool = True,
+                      need_error_mask: bool = False) -> PhyFrameOutcome:
         """Synthesize one frame outcome from the calibration tables.
 
         See :meth:`PhyBackend.frame_outcome` for the argument
@@ -559,12 +577,27 @@ class SurrogatePhyBackend(PhyBackend):
             ber_est = float(np.average(level, weights=bits))
         ber_est = min(ber_est, 0.5)
 
+        error_mask = None
+        if need_error_mask:
+            # Scatter each failed segment's realized errors over its
+            # bit range.  These draws happen after every pre-existing
+            # draw, so the stream consumed by need_error_mask=False
+            # callers (and the goldens built on it) is untouched.
+            error_mask = np.zeros(n_info, dtype=bool)
+            if any_failed:
+                starts = np.concatenate(([0], np.cumsum(bits)[:-1]))
+                for seg in np.flatnonzero(errors):
+                    pos = rng.choice(int(bits[seg]), int(errors[seg]),
+                                     replace=False)
+                    error_mask[starts[seg] + pos] = True
+
         return PhyFrameOutcome(
             detected=detected,
             delivered=detected and n_errors == 0,
             ber_true=n_errors / n_info,
             ber_est=ber_est, snr_db=snr_est,
-            n_bit_errors=n_errors, n_info_bits=n_info, hints=hints)
+            n_bit_errors=n_errors, n_info_bits=n_info, hints=hints,
+            error_mask=error_mask)
 
 
 def validate_backend_name(name: str) -> str:

@@ -19,12 +19,20 @@ bit-exact PHY so that claim can be exercised end to end:
 
 from repro.recovery.base import RecoveryOutcome
 from repro.recovery.arq import FrameArqProtocol
-from repro.recovery.ppr import PprProtocol
+from repro.recovery.ppr import PprOutcome, PprProtocol, chunk_slices
 from repro.recovery.incremental import IncrementalRedundancyProtocol
+from repro.recovery.rateless import (RatelessDecoder, RatelessEncoder,
+                                     SalvagedSymbol, salvage_symbols)
 
 __all__ = [
     "RecoveryOutcome",
     "FrameArqProtocol",
     "PprProtocol",
+    "PprOutcome",
+    "chunk_slices",
     "IncrementalRedundancyProtocol",
+    "RatelessEncoder",
+    "RatelessDecoder",
+    "SalvagedSymbol",
+    "salvage_symbols",
 ]

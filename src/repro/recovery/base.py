@@ -17,8 +17,14 @@ class RecoveryOutcome:
         airtime: total seconds of channel time spent, including the
             per-round preamble/header overhead.
         payload_bits: size of the delivered payload.
-        feedback_bits: bits of feedback the receiver sent (ARQ: 1-bit
-            ACK per round; PPR: the chunk bitmap; IR: 1-bit NACKs).
+        feedback_bits: bits of feedback the receiver actually sent.
+            ARQ and IR charge one ACK/NACK bit per round.  PPR charges
+            each retransmission request at its real size — the full
+            chunk bitmap when chunks crossed the suspicion threshold,
+            or one ``ceil(log2(n_chunks))``-bit chunk index on the
+            least-confident-chunk fallback — plus a 1-bit ACK only
+            when the spliced body verifies (a failed final round is
+            signalled by ACK timeout and costs nothing).
     """
 
     delivered: bool

@@ -15,11 +15,19 @@ just those chunks as a smaller frame, and the receiver splices in
 whichever copy of each chunk carries higher confidence and re-checks
 the CRC — a genuine receiver-side check, since the CRC field is part
 of the spliced body.
+
+The delivered :class:`PprOutcome` additionally carries the receiver's
+final *salvage state* — the spliced body estimate and its per-bit
+error probabilities — so chunk-consuming upper layers (the rateless
+video decoder in :mod:`repro.recovery.rateless`) can weigh individual
+chunks by confidence even when the frame as a whole never verified.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +36,41 @@ from repro.phy.bits import append_crc32, check_crc32
 from repro.phy.transceiver import Transceiver
 from repro.recovery.base import RecoveryOutcome
 
-__all__ = ["PprProtocol"]
+__all__ = ["PprProtocol", "PprOutcome", "chunk_slices"]
+
+
+def chunk_slices(n_body_bits: int, chunk_bits: int) -> List[slice]:
+    """Chunk boundaries over a frame body (last chunk may be short).
+
+    Shared between :class:`PprProtocol` and the chunk-consuming
+    layers above it (:mod:`repro.recovery.rateless`), so both sides
+    agree bit-for-bit on where chunk ``i`` lives.
+    """
+    out = []
+    for start in range(0, n_body_bits, chunk_bits):
+        out.append(slice(start, min(start + chunk_bits, n_body_bits)))
+    return out
+
+
+@dataclass(frozen=True)
+class PprOutcome(RecoveryOutcome):
+    """A :class:`~repro.recovery.base.RecoveryOutcome` plus the
+    receiver's final salvage state.
+
+    Attributes:
+        estimate: the spliced body bits (payload + CRC-32) the
+            receiver ended up with — its best reconstruction even
+            when ``delivered`` is False.
+        confidences: per-bit error probabilities of ``estimate``
+            (chunk splices carry the winning copy's confidences), so
+            consumers can weigh any chunk of the estimate by how
+            likely it is to be correct.
+    """
+
+    estimate: Optional[np.ndarray] = field(default=None, repr=False,
+                                           compare=False)
+    confidences: Optional[np.ndarray] = field(default=None, repr=False,
+                                              compare=False)
 
 
 class PprProtocol:
@@ -62,27 +104,44 @@ class PprProtocol:
 
     def _chunk_slices(self, n_body_bits: int) -> List[slice]:
         """Chunk boundaries over the body (last chunk may be short)."""
-        out = []
-        for start in range(0, n_body_bits, self.chunk_bits):
-            out.append(slice(start, min(start + self.chunk_bits,
-                                        n_body_bits)))
-        return out
+        return chunk_slices(n_body_bits, self.chunk_bits)
 
-    def _suspect_chunks(self, p: np.ndarray,
-                        slices: List[slice]) -> List[int]:
-        """Chunk indices to request, most suspicious first."""
+    def _suspect_chunks(self, p: np.ndarray, slices: List[slice]
+                        ) -> Tuple[List[int], bool]:
+        """Chunk indices to request (most suspicious first) and
+        whether the single-chunk fallback produced them."""
         chunk_ber = np.array([p[s].mean() for s in slices])
         flagged = [int(i) for i in np.argsort(chunk_ber)[::-1]
                    if chunk_ber[i] >= self.bad_chunk_ber]
         if not flagged:
             # CRC failed but nothing crossed the threshold: request
             # the single least-confident chunk (PPR's fallback).
-            flagged = [int(np.argmax(chunk_ber))]
-        return flagged
+            return [int(np.argmax(chunk_ber))], True
+        return flagged, False
+
+    def _request_bits(self, n_chunks: int, used_fallback: bool) -> int:
+        """Feedback cost of one chunk request.
+
+        Threshold-flagged requests send the full chunk bitmap
+        (``n_chunks`` bits); the single-chunk fallback names one chunk
+        index, which costs only ``ceil(log2(n_chunks))`` bits.
+        """
+        if used_fallback:
+            return max(1, math.ceil(math.log2(max(n_chunks, 2))))
+        return n_chunks
 
     def deliver(self, payload_bits: np.ndarray,
-                rate_index: int) -> RecoveryOutcome:
-        """Deliver one payload; see :class:`RecoveryOutcome`."""
+                rate_index: int) -> PprOutcome:
+        """Deliver one payload; see :class:`PprOutcome`.
+
+        Feedback accounting follows the
+        :class:`~repro.recovery.base.RecoveryOutcome` contract: a
+        1-bit ACK is charged only when the (spliced) body actually
+        verifies, each retransmission is preceded by its chunk-request
+        cost (bitmap or fallback index), and giving up charges
+        nothing — the sender learns of the final failure by ACK
+        timeout, as in 802.11.
+        """
         payload_bits = np.asarray(payload_bits, dtype=np.uint8)
         body = append_crc32(payload_bits)       # sender-side body
         slices = self._chunk_slices(body.size)
@@ -94,19 +153,22 @@ class PprProtocol:
         airtime += tx.layout.airtime(symbol_time)
         rx_symbols, gains = self.channel(tx.symbols, 0)
         rx = self.phy.receive(rx_symbols, gains, tx.layout)
-        feedback_bits += 1
         estimate = rx.body_bits.copy()
         confidences = error_probabilities(rx.hints).copy()
         if rx.crc_ok:
-            return RecoveryOutcome(
+            feedback_bits += 1                  # the terminal ACK
+            return PprOutcome(
                 delivered=bool(np.array_equal(estimate, body)),
                 rounds=1, airtime=airtime,
                 payload_bits=payload_bits.size,
-                feedback_bits=feedback_bits)
+                feedback_bits=feedback_bits,
+                estimate=estimate, confidences=confidences)
 
         for round_index in range(1, self.max_rounds):
-            suspects = self._suspect_chunks(confidences, slices)
-            feedback_bits += len(slices)        # the request bitmap
+            suspects, used_fallback = self._suspect_chunks(confidences,
+                                                           slices)
+            feedback_bits += self._request_bits(len(slices),
+                                                used_fallback)
             chunk_payload = np.concatenate(
                 [body[slices[c]] for c in suspects])
             # Byte-align the retransmission frame.
@@ -121,7 +183,6 @@ class PprProtocol:
                                              round_index)
             rx_chunk = self.phy.receive(rx_symbols, gains,
                                         tx_chunk.layout)
-            feedback_bits += 1
             new_bits = rx_chunk.payload_bits
             new_p = error_probabilities(
                 rx_chunk.hints[: new_bits.size])
@@ -131,15 +192,25 @@ class PprProtocol:
                 width = dst.stop - dst.start
                 src = slice(cursor, cursor + width)
                 cursor += width
+                if src.stop > new_bits.size:
+                    # The retransmission came up short (undetected or
+                    # truncated frame): this chunk's bits never
+                    # arrived.  Keep the copy we have — splicing an
+                    # empty or partial slice would corrupt the
+                    # estimate and NaN the confidence bookkeeping.
+                    continue
                 # Keep whichever copy is more confident.
                 if new_p[src].mean() <= confidences[dst].mean():
                     estimate[dst] = new_bits[src]
                     confidences[dst] = new_p[src]
             if check_crc32(estimate):
-                return RecoveryOutcome(
+                feedback_bits += 1              # the terminal ACK
+                return PprOutcome(
                     delivered=bool(np.array_equal(estimate, body)),
                     rounds=round_index + 1, airtime=airtime,
                     payload_bits=payload_bits.size,
-                    feedback_bits=feedback_bits)
-        return RecoveryOutcome(False, self.max_rounds, airtime,
-                               payload_bits.size, feedback_bits)
+                    feedback_bits=feedback_bits,
+                    estimate=estimate, confidences=confidences)
+        return PprOutcome(False, self.max_rounds, airtime,
+                          payload_bits.size, feedback_bits,
+                          estimate=estimate, confidences=confidences)

@@ -1,0 +1,294 @@
+"""Rateless (fountain) coding over PPR-salvaged chunks.
+
+The video workload's transport, after the Raptor-codes-for-video line
+of work: each video frame's bits are expanded into an endless stream
+of fountain-coded *symbols* — the first ``k`` systematic (the data
+itself), the rest dense random GF(2) combinations — and the sender
+simply keeps streaming fresh symbols until the receiver has enough.
+*Any* sufficient subset decodes, which is exactly the workload shape
+that rewards chunk-level salvage: a symbol that rode a CRC-failed PHY
+frame still counts when its chunk's SoftPHY confidence is high.
+
+The receiver side is confidence-weighted.  Each accepted symbol
+carries a ``weight`` in ``(0, 1]`` — 1.0 for symbols from
+CRC-verified frames, and the chunk's probability of being error-free
+(``prod(1 - p)`` over its per-bit error probabilities, the PPR
+salvage rule) for symbols recovered from failed frames.  A video
+frame is declared decodable when the accumulated weight crosses
+``k * (1 + overhead)`` *and* the received coefficient vectors span
+GF(2)^k; :meth:`RatelessDecoder.decode` then solves the system by
+Gaussian elimination and returns the exact data bits.
+
+Fidelity caveats (see docs/video.md): symbol indices are assumed to
+be known reliably (out-of-band / in the protected frame header), and
+a confidently-wrong salvaged chunk can poison a decode — the weight
+rule bounds how often that happens but does not eliminate it, just as
+for real PPR splices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.recovery.ppr import chunk_slices
+
+__all__ = ["RatelessEncoder", "RatelessDecoder", "SalvagedSymbol",
+           "salvage_symbols"]
+
+
+def _coefficients(k: int, seed: int, index: int) -> np.ndarray:
+    """GF(2) coefficient vector of symbol ``index`` (shape ``(k,)``).
+
+    Symbols ``0 .. k-1`` are systematic (unit vectors); later repair
+    symbols draw a dense Bernoulli(1/2) mask from a counter-keyed RNG
+    so encoder and decoder derive identical vectors from ``(seed,
+    index)`` alone, with a deterministic fallback guaranteeing no
+    all-zero row.
+    """
+    if index < k:
+        coeff = np.zeros(k, dtype=np.uint8)
+        coeff[index] = 1
+        return coeff
+    rng = np.random.default_rng((seed, index))
+    coeff = (rng.random(k) < 0.5).astype(np.uint8)
+    if not coeff.any():
+        coeff[index % k] = 1
+    return coeff
+
+
+class RatelessEncoder:
+    """Expand one data block into an endless fountain-symbol stream.
+
+    Args:
+        data_bits: the block to protect (zero-padded up to a whole
+            number of symbols).
+        symbol_bits: bits per fountain symbol; must match the PPR
+            chunk size so salvaged chunks align with symbols.
+        seed: keys the repair-symbol coefficient masks; the decoder
+            must use the same seed.
+
+    Example::
+
+        enc = RatelessEncoder(bits, symbol_bits=256, seed=7)
+        enc.symbol(0)            # first systematic symbol
+        enc.symbol(enc.k + 5)    # a repair symbol
+    """
+
+    def __init__(self, data_bits: np.ndarray, symbol_bits: int,
+                 seed: int = 0):
+        if symbol_bits < 1:
+            raise ValueError("symbol_bits must be positive")
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        if data_bits.size < 1:
+            raise ValueError("need at least one data bit")
+        self.symbol_bits = int(symbol_bits)
+        self.seed = int(seed)
+        self.n_data_bits = int(data_bits.size)
+        k = -(-data_bits.size // symbol_bits)
+        padded = np.zeros(k * symbol_bits, dtype=np.uint8)
+        padded[: data_bits.size] = data_bits
+        #: data as a (k, symbol_bits) table of source symbols.
+        self._table = padded.reshape(k, symbol_bits)
+
+    @property
+    def k(self) -> int:
+        """Number of source symbols in the block."""
+        return self._table.shape[0]
+
+    def coefficients(self, index: int) -> np.ndarray:
+        """GF(2) coefficient vector of symbol ``index``."""
+        return _coefficients(self.k, self.seed, index)
+
+    def symbol(self, index: int) -> np.ndarray:
+        """The ``index``-th fountain symbol (``symbol_bits`` bits)."""
+        if index < self.k:
+            return self._table[index].copy()
+        coeff = self.coefficients(index)
+        return np.bitwise_xor.reduce(
+            self._table[coeff.astype(bool)], axis=0)
+
+    def symbols(self, start: int, count: int) -> Iterator[
+            Tuple[int, np.ndarray]]:
+        """Yield ``count`` consecutive ``(index, bits)`` symbols."""
+        for index in range(start, start + count):
+            yield index, self.symbol(index)
+
+
+class RatelessDecoder:
+    """Confidence-weighted fountain decoder for one data block.
+
+    Symbols arrive via :meth:`add` with a weight in ``(0, 1]``;
+    duplicates of an index keep the highest-weight copy.  The decoder
+    maintains an incrementally row-reduced GF(2) basis, so
+    :attr:`decodable` and :meth:`decode` are cheap at any point in
+    the stream.
+
+    Args:
+        n_data_bits: exact size of the original block (the padding the
+            encoder added is stripped on decode).
+        symbol_bits: bits per symbol (same as the encoder's).
+        seed: the encoder's coefficient seed.
+        overhead: extra weight, as a fraction of ``k``, required
+            before the block is declared decodable.
+    """
+
+    def __init__(self, n_data_bits: int, symbol_bits: int,
+                 seed: int = 0, overhead: float = 0.15):
+        if n_data_bits < 1:
+            raise ValueError("need at least one data bit")
+        if overhead < 0:
+            raise ValueError("overhead cannot be negative")
+        self.n_data_bits = int(n_data_bits)
+        self.symbol_bits = int(symbol_bits)
+        self.seed = int(seed)
+        self.overhead = float(overhead)
+        self.k = -(-self.n_data_bits // self.symbol_bits)
+        #: best weight seen per symbol index.
+        self._weights: Dict[int, float] = {}
+        #: reduced basis rows by pivot: pivot -> (coeff, bits).
+        self._basis: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def threshold(self) -> float:
+        """Weight needed to declare the block decodable."""
+        return self.k * (1.0 + self.overhead)
+
+    @property
+    def received_weight(self) -> float:
+        """Accumulated weight over distinct symbol indices."""
+        return float(sum(self._weights.values()))
+
+    @property
+    def rank(self) -> int:
+        """GF(2) rank of the received coefficient vectors."""
+        return len(self._basis)
+
+    @property
+    def decodable(self) -> bool:
+        """True when the accumulated symbol weight crosses
+        ``k * (1 + overhead)`` and the symbols span the block."""
+        return (self.received_weight >= self.threshold
+                and self.rank == self.k)
+
+    def add(self, index: int, bits: np.ndarray,
+            weight: float = 1.0) -> None:
+        """Accept one received symbol.
+
+        Args:
+            index: the fountain symbol index.
+            bits: the symbol's ``symbol_bits`` bits.
+            weight: confidence that the bits are error-free (1.0 for
+                symbols from CRC-verified frames; the salvage weight
+                otherwise).
+        """
+        if not 0.0 < weight <= 1.0:
+            raise ValueError("weight must be in (0, 1]")
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size != self.symbol_bits:
+            raise ValueError(
+                f"symbol carries {bits.size} bits, expected "
+                f"{self.symbol_bits}")
+        index = int(index)
+        prev = self._weights.get(index)
+        if prev is not None:
+            # Duplicate index: the payload is identical by
+            # construction, only the confidence can improve.
+            self._weights[index] = max(prev, weight)
+            return
+        self._weights[index] = weight
+        self._reduce(_coefficients(self.k, self.seed, index),
+                     bits.copy())
+
+    def _reduce(self, coeff: np.ndarray, bits: np.ndarray) -> None:
+        """Fold one row into the reduced GF(2) basis."""
+        while True:
+            pivots = np.flatnonzero(coeff)
+            if pivots.size == 0:
+                return                      # linearly dependent
+            pivot = int(pivots[0])
+            row = self._basis.get(pivot)
+            if row is None:
+                self._basis[pivot] = (coeff, bits)
+                return
+            coeff = np.bitwise_xor(coeff, row[0])
+            bits = np.bitwise_xor(bits, row[1])
+
+    def decode(self) -> Optional[np.ndarray]:
+        """Solve for the data bits; ``None`` unless :attr:`decodable`.
+
+        Back-substitutes the reduced basis into a fully diagonalized
+        system and returns exactly ``n_data_bits`` bits.
+        """
+        if not self.decodable:
+            return None
+        solved = np.zeros((self.k, self.symbol_bits), dtype=np.uint8)
+        # Pivots run 0..k-1 when rank == k; eliminate bottom-up.
+        for pivot in range(self.k - 1, -1, -1):
+            coeff, bits = self._basis[pivot]
+            bits = bits.copy()
+            for other in np.flatnonzero(coeff)[1:]:
+                bits ^= solved[int(other)]
+            solved[pivot] = bits
+        return solved.reshape(-1)[: self.n_data_bits].copy()
+
+
+class SalvagedSymbol:
+    """One symbol recovered from a (possibly CRC-failed) frame body.
+
+    Attributes:
+        chunk: chunk position within the carrying frame's body.
+        bits: the chunk's bits as received.
+        weight: probability the chunk is error-free,
+            ``prod(1 - p)`` over its per-bit error probabilities.
+    """
+
+    __slots__ = ("chunk", "bits", "weight")
+
+    def __init__(self, chunk: int, bits: np.ndarray, weight: float):
+        self.chunk = int(chunk)
+        self.bits = bits
+        self.weight = float(weight)
+
+
+def salvage_symbols(body_bits: np.ndarray, confidences: np.ndarray,
+                    symbol_bits: int,
+                    max_error_prob: float = 1e-3
+                    ) -> List[SalvagedSymbol]:
+    """PPR-style chunk salvage of a frame body for the decoder.
+
+    Splits ``body_bits`` into symbol-aligned chunks (the trailing
+    partial chunk — the frame's CRC field — is never a symbol) and
+    keeps every chunk whose *mean* per-bit error probability is at
+    most ``max_error_prob``; each kept chunk is weighted by its
+    probability of being entirely error-free.  Feeding these into
+    :meth:`RatelessDecoder.add` is what lets a failed frame still
+    advance the video decode.
+
+    Args:
+        body_bits: received body estimate (e.g.
+            :attr:`repro.recovery.ppr.PprOutcome.estimate`).
+        confidences: per-bit error probabilities of ``body_bits``.
+        symbol_bits: the fountain symbol size (PPR chunk size).
+        max_error_prob: salvage threshold on the chunk's mean error
+            probability.
+
+    Returns:
+        The salvageable chunks, in chunk order.
+    """
+    body_bits = np.asarray(body_bits, dtype=np.uint8)
+    confidences = np.asarray(confidences, dtype=np.float64)
+    if body_bits.shape != confidences.shape:
+        raise ValueError("bits and confidences must align")
+    out = []
+    for chunk, sl in enumerate(chunk_slices(body_bits.size,
+                                            symbol_bits)):
+        if sl.stop - sl.start != symbol_bits:
+            continue                        # partial tail (CRC field)
+        p = confidences[sl]
+        if float(p.mean()) <= max_error_prob:
+            out.append(SalvagedSymbol(
+                chunk=chunk, bits=body_bits[sl].copy(),
+                weight=float(np.prod(1.0 - p))))
+    return out

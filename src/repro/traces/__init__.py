@@ -17,13 +17,18 @@ SoftPHY feedback would be.  We reproduce that methodology:
   network-scale experiments);
 * :mod:`repro.traces.synthetic` — hand-built traces such as the
   good/bad alternating channel of Fig. 15;
-* :mod:`repro.traces.workloads` — the Table 4 experiment presets.
+* :mod:`repro.traces.workloads` — the Table 4 experiment presets;
+* :mod:`repro.traces.video` — the deadline-annotated GoP video
+  workload feeding the rateless pipeline.
 """
 
 from repro.traces.format import FrameObservation, LinkTrace
 from repro.traces.generate import (generate_fading_trace,
                                    generate_full_phy_trace)
 from repro.traces.synthetic import alternating_trace, constant_trace
+from repro.traces.video import (VideoFrame, VideoTrace,
+                                generate_video_trace,
+                                reference_video_trace)
 
 __all__ = [
     "FrameObservation",
@@ -32,4 +37,8 @@ __all__ = [
     "generate_full_phy_trace",
     "alternating_trace",
     "constant_trace",
+    "VideoFrame",
+    "VideoTrace",
+    "generate_video_trace",
+    "reference_video_trace",
 ]

@@ -1,0 +1,189 @@
+"""Deadline-annotated GoP-structured video workload traces.
+
+The media workload the rateless pipeline carries is a *frame-size
+trace*: a sequence of video frames, each with a kind (I or P), a
+compressed size in bits, and a playout deadline.  Sizes follow the
+classic GoP structure — one large intra-coded (I) frame opening each
+group of pictures, followed by smaller predicted (P) frames — with
+log-normal jitter around the per-kind targets, the standard model for
+VBR video traffic.  Deadlines are the frame's playout instant behind a
+fixed startup (buffering) delay, so a frame that cannot be decoded by
+``deadline`` causes a rebuffer stall (:func:`repro.analysis.metrics.
+rebuffer_time`).
+
+A small reference trace (4 s of 30 fps video, 15-frame GoPs) is
+checked in next to this module so experiments and goldens share one
+exact workload; :func:`generate_video_trace` grows arbitrary variants
+from a seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["VideoFrame", "VideoTrace", "generate_video_trace",
+           "reference_video_trace", "load_video_trace",
+           "save_video_trace"]
+
+_REFERENCE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "video_reference.json")
+
+#: Smallest frame the generator emits (one 32-byte slice).
+_MIN_FRAME_BITS = 256
+
+
+@dataclass(frozen=True)
+class VideoFrame:
+    """One compressed video frame of the workload.
+
+    Attributes:
+        index: position in display order (0-based).
+        kind: ``"I"`` (intra-coded, opens a GoP) or ``"P"``
+            (predicted).
+        size_bits: compressed size in bits (byte-aligned).
+        deadline: playout instant in seconds from stream start; the
+            frame must be decodable by then or playback stalls.
+    """
+
+    index: int
+    kind: str
+    size_bits: int
+    deadline: float
+
+
+@dataclass(frozen=True)
+class VideoTrace:
+    """A GoP-structured frame-size trace with playout deadlines.
+
+    Attributes:
+        fps: display rate in frames per second.
+        gop: group-of-pictures length (one I frame per ``gop``).
+        startup_delay: buffering delay before playout starts, in
+            seconds (every deadline includes it).
+        frames: the frames in display order.
+    """
+
+    fps: float
+    gop: int
+    startup_delay: float
+    frames: Tuple[VideoFrame, ...]
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames in the trace."""
+        return len(self.frames)
+
+    @property
+    def duration(self) -> float:
+        """Playout duration in seconds (``n_frames / fps``)."""
+        return self.n_frames / self.fps
+
+    @property
+    def total_bits(self) -> int:
+        """Sum of all frame sizes."""
+        return sum(f.size_bits for f in self.frames)
+
+    @property
+    def mean_bitrate_bps(self) -> float:
+        """Realized mean bitrate over the playout duration."""
+        return self.total_bits / self.duration
+
+
+def generate_video_trace(duration: float = 4.0, fps: float = 30.0,
+                         gop: int = 15,
+                         mean_bitrate_bps: float = 4.8e5,
+                         i_frame_ratio: float = 6.0,
+                         size_jitter: float = 0.25,
+                         startup_delay: float = 0.5,
+                         seed: int = 0) -> VideoTrace:
+    """Generate a GoP-structured frame-size trace.
+
+    Each GoP's bit budget is split between one I frame and
+    ``gop - 1`` P frames so the I frame is ``i_frame_ratio`` times a
+    P frame's target; individual sizes get log-normal jitter of
+    ``size_jitter`` decades-e around the target, then byte alignment
+    and a small floor.  Frame ``i``'s deadline is
+    ``startup_delay + (i + 1) / fps``.
+
+    Args:
+        duration: playout length in seconds.
+        fps: display rate.
+        gop: frames per group of pictures (>= 1).
+        mean_bitrate_bps: target mean bitrate.
+        i_frame_ratio: I-frame size relative to a P frame.
+        size_jitter: sigma of the log-normal size jitter.
+        startup_delay: buffering delay added to every deadline.
+        seed: RNG seed; same seed, same trace.
+
+    Returns:
+        A :class:`VideoTrace`.
+    """
+    if gop < 1:
+        raise ValueError("gop must be at least 1")
+    if fps <= 0 or duration <= 0:
+        raise ValueError("fps and duration must be positive")
+    n_frames = max(int(round(duration * fps)), 1)
+    rng = np.random.default_rng(seed)
+    budget_per_gop = mean_bitrate_bps * gop / fps
+    p_target = budget_per_gop / (i_frame_ratio + (gop - 1))
+    frames = []
+    for i in range(n_frames):
+        kind = "I" if i % gop == 0 else "P"
+        target = p_target * (i_frame_ratio if kind == "I" else 1.0)
+        size = target * float(np.exp(rng.normal(0.0, size_jitter)))
+        size_bits = max(int(round(size / 8.0)) * 8, _MIN_FRAME_BITS)
+        frames.append(VideoFrame(index=i, kind=kind,
+                                 size_bits=size_bits,
+                                 deadline=startup_delay + (i + 1) / fps))
+    return VideoTrace(fps=fps, gop=gop, startup_delay=startup_delay,
+                      frames=tuple(frames))
+
+
+def save_video_trace(trace: VideoTrace, path: str) -> None:
+    """Write a trace as JSON (the checked-in reference format)."""
+    doc = {
+        "format": "repro-video-trace/1",
+        "fps": trace.fps,
+        "gop": trace.gop,
+        "startup_delay": trace.startup_delay,
+        "kinds": "".join(f.kind for f in trace.frames),
+        "size_bits": [f.size_bits for f in trace.frames],
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+
+def load_video_trace(path: str) -> VideoTrace:
+    """Load a trace written by :func:`save_video_trace`.
+
+    Deadlines are recomputed from ``fps`` and ``startup_delay``, so
+    the file stays small and cannot disagree with itself.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format") != "repro-video-trace/1":
+        raise ValueError(f"{path} is not a repro video trace")
+    fps = float(doc["fps"])
+    startup = float(doc["startup_delay"])
+    frames = tuple(
+        VideoFrame(index=i, kind=kind, size_bits=int(size),
+                   deadline=startup + (i + 1) / fps)
+        for i, (kind, size) in enumerate(zip(doc["kinds"],
+                                             doc["size_bits"])))
+    return VideoTrace(fps=fps, gop=int(doc["gop"]),
+                      startup_delay=startup, frames=frames)
+
+
+def reference_video_trace() -> VideoTrace:
+    """The checked-in reference workload: 4 s, 30 fps, 15-frame GoPs.
+
+    Experiments and golden fixtures share this exact trace so QoE
+    numbers are comparable across runs and machines.
+    """
+    return load_video_trace(_REFERENCE_PATH)

@@ -1,0 +1,51 @@
+"""Video QoE metrics: decodable rate, cascading rebuffer, misses."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (deadline_miss_ratio,
+                                    decodable_frame_rate,
+                                    rebuffer_time)
+
+
+def test_decodable_frame_rate():
+    assert decodable_frame_rate([0.1, None, 0.3, None]) == 0.5
+    assert decodable_frame_rate([None, None]) == 0.0
+    assert decodable_frame_rate([0.0, 1.0]) == 1.0
+    assert math.isnan(decodable_frame_rate([]))
+
+
+def test_rebuffer_time_cascades_delay():
+    # Frame 0 arrives 0.2 s late; the carried delay absorbs frame 1's
+    # otherwise-late arrival, so only the first stall counts.
+    deadlines = [1.0, 2.0, 3.0]
+    times = [1.2, 2.1, 3.0]
+    assert rebuffer_time(times, deadlines) == pytest.approx(0.2)
+    # A second, deeper stall adds only its excess over the delay.
+    times = [1.2, 2.5, 3.0]
+    assert rebuffer_time(times, deadlines) == pytest.approx(0.5)
+
+
+def test_rebuffer_time_skips_dropped_frames():
+    assert rebuffer_time([None, 2.0], [1.0, 2.0]) == 0.0
+    assert rebuffer_time([None, 2.4], [1.0, 2.0]) \
+        == pytest.approx(0.4)
+
+
+def test_rebuffer_time_zero_when_on_time():
+    assert rebuffer_time([0.5, 1.5], [1.0, 2.0]) == 0.0
+
+
+def test_deadline_miss_ratio_counts_none_and_late():
+    deadlines = [1.0, 2.0, 3.0, 4.0]
+    times = [0.9, None, 3.5, 4.0]
+    assert deadline_miss_ratio(times, deadlines) == 0.5
+    assert math.isnan(deadline_miss_ratio([], []))
+
+
+def test_metrics_reject_misaligned_inputs():
+    with pytest.raises(ValueError):
+        rebuffer_time([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        deadline_miss_ratio([1.0], [1.0, 2.0])

@@ -18,7 +18,7 @@ from repro.experiments.api import (ExperimentExecutionError,
 #: figXX/tabXX reproductions plus the campaign matrix cells.
 EXPECTED = {"cell", "fig01", "fig03", "fig05", "fig07", "fig08",
             "fig10", "fig13", "fig15", "fig16", "fig17", "mesh",
-            "tab01", "tab02"}
+            "tab01", "tab02", "video"}
 
 
 class TestRegistry:

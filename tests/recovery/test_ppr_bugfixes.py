@@ -1,0 +1,290 @@
+"""Regression tests for the PPR splice/accounting bugfixes.
+
+Three latent bugs in :meth:`PprProtocol.deliver` are pinned here with
+tests that fail on the pre-fix code:
+
+* a dead/short retransmission round used to NaN the confidence
+  bookkeeping (empty-slice mean) or crash on a shape-mismatched
+  splice;
+* the byte-alignment pad bits appended to chunk retransmissions must
+  never leak values or confidences into the last spliced chunk;
+* feedback accounting used to charge a full chunk bitmap on the
+  single-chunk fallback path and an ACK before ``crc_ok`` was known.
+
+All tests drive a scripted fake PHY so each round's received bits and
+hint confidences are chosen exactly, independent of channel noise.
+"""
+
+import math
+import warnings
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.bits import append_crc32, check_crc32, random_bits
+from repro.recovery import PprOutcome, PprProtocol
+
+
+def _hints_for(p):
+    """LLR magnitudes whose error probability is exactly ``p``."""
+    p = np.asarray(p, dtype=float)
+    return np.log((1.0 - p) / p)
+
+
+class _FakeLayout:
+    """Minimal stand-in for a frame layout: airtime ~ payload size."""
+
+    def __init__(self, n_bits):
+        self.n_bits = n_bits
+
+    def airtime(self, symbol_time):
+        return self.n_bits * symbol_time
+
+
+class _FakePhy:
+    """Scripted transceiver: each ``receive`` pops the next script
+    entry, a callable from the transmitted payload bits to a fake
+    ``RxResult`` (``SimpleNamespace`` with ``payload_bits``,
+    ``body_bits``, ``crc_ok``, ``hints``)."""
+
+    mode = SimpleNamespace(symbol_time=4e-6)
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sent = []
+
+    def transmit(self, payload_bits, rate_index):
+        payload_bits = np.asarray(payload_bits, dtype=np.uint8)
+        self.sent.append(payload_bits.copy())
+        return SimpleNamespace(symbols=payload_bits,
+                               layout=_FakeLayout(payload_bits.size))
+
+    def receive(self, rx_symbols, gains, layout):
+        return self.script.pop(0)(rx_symbols)
+
+
+def _passthrough(tx_symbols, round_index):
+    return tx_symbols, None
+
+
+def _rx_body(body, p):
+    """First-round result: a body estimate with per-bit error
+    probability ``p`` (scalar or array)."""
+    body = np.asarray(body, dtype=np.uint8)
+    p = np.broadcast_to(np.asarray(p, dtype=float), body.shape)
+    return SimpleNamespace(payload_bits=body[:-32], body_bits=body.copy(),
+                           crc_ok=bool(check_crc32(body)),
+                           hints=_hints_for(p))
+
+
+def _rx_retx(bits, p):
+    """Retransmission-round result carrying ``bits`` at confidence
+    ``p`` (the chunk frame's own CRC never verifies here)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    p = np.broadcast_to(np.asarray(p, dtype=float), bits.shape)
+    return SimpleNamespace(payload_bits=bits.copy(), body_bits=bits.copy(),
+                           crc_ok=False, hints=_hints_for(p))
+
+
+def _corrupt(body, sl):
+    bad = body.copy()
+    bad[sl] ^= 1
+    return bad
+
+
+class TestDeadRetransmissionRound:
+    """Bug 1: short/undetected retransmissions must be skipped, not
+    spliced."""
+
+    def test_empty_retransmission_no_warning_estimate_unchanged(self):
+        rng = np.random.default_rng(0)
+        payload = random_bits(64, rng)
+        body = append_crc32(payload)
+        p = np.full(body.size, 1e-6)
+        p[32:64] = 0.5                          # chunk 1 looks bad
+        first = _corrupt(body, slice(32, 64))
+        script = [
+            lambda tx, r=_rx_body(first, p): r,
+            # The retransmission is never detected: zero bits arrive.
+            lambda tx: _rx_retx(np.zeros(0, dtype=np.uint8),
+                                np.zeros(0)),
+        ]
+        phy = _FakePhy(script)
+        proto = PprProtocol(phy, _passthrough, chunk_bits=32,
+                            max_rounds=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")      # NaN mean would raise
+            outcome = proto.deliver(payload, rate_index=0)
+        assert not outcome.delivered
+        assert np.array_equal(outcome.estimate, first)
+
+    def test_partial_retransmission_splices_only_arrived_chunks(self):
+        rng = np.random.default_rng(1)
+        payload = random_bits(64, rng)
+        body = append_crc32(payload)
+        p = np.full(body.size, 1e-6)
+        p[0:32] = 0.45                          # chunk 0 bad
+        p[32:64] = 0.5                          # chunk 1 worse
+        first = _corrupt(body, slice(0, 64))
+        # Suspects are ordered worst-first, so the retransmission is
+        # chunk 1 then chunk 0; only the first 40 of its 64 bits
+        # arrive.  The pre-fix splice assigned an 8-bit slice into
+        # chunk 0's 32-bit destination.
+        script = [
+            lambda tx, r=_rx_body(first, p): r,
+            lambda tx: _rx_retx(tx[:40], 1e-6),
+        ]
+        phy = _FakePhy(script)
+        proto = PprProtocol(phy, _passthrough, chunk_bits=32,
+                            max_rounds=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            outcome = proto.deliver(payload, rate_index=0)
+        # The fully-arrived chunk was spliced, the truncated one kept.
+        assert np.array_equal(outcome.estimate[32:64], body[32:64])
+        assert np.array_equal(outcome.estimate[0:32], first[0:32])
+
+
+class _OddChunkPpr(PprProtocol):
+    """PPR with a forced odd chunk width.
+
+    Under the shipped invariants (byte-aligned payloads, chunk sizes a
+    multiple of 8) every chunk width is a multiple of 8 and the pad
+    path never triggers; this subclass simulates a relaxed frame
+    layout so the pad/cursor arithmetic is actually exercised."""
+
+    def __init__(self, *args, odd_width, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._odd_width = odd_width
+
+    def _chunk_slices(self, n_body_bits):
+        out = []
+        for start in range(0, n_body_bits, self._odd_width):
+            out.append(slice(start,
+                             min(start + self._odd_width, n_body_bits)))
+        return out
+
+
+class TestPadBitIsolation:
+    """Bug 2: byte-alignment pad bits must never bleed into the last
+    spliced chunk, even at odd (non-byte-multiple) chunk widths."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload_bytes=st.integers(5, 25),
+           odd_width=st.integers(9, 45).filter(lambda w: w % 8 != 0),
+           seed=st.integers(0, 2**16))
+    def test_pad_bits_never_splice(self, payload_bytes, odd_width,
+                                   seed):
+        rng = np.random.default_rng(seed)
+        payload = random_bits(8 * payload_bytes, rng)
+        body = append_crc32(payload)
+        slices = _OddChunkPpr(
+            _FakePhy([]), _passthrough,
+            odd_width=odd_width)._chunk_slices(body.size)
+        last = slices[-1]
+        width = last.stop - last.start
+        p = np.full(body.size, 1e-6)
+        p[last] = 0.5                           # only the last chunk bad
+        first = _corrupt(body, last)
+        script = [
+            lambda tx, r=_rx_body(first, p): r,
+            # Perfect copy of the chunk bits, but every pad bit is
+            # received flipped at full confidence: any leak corrupts
+            # the estimate and the CRC below catches it.
+            lambda tx: _rx_retx(
+                np.concatenate([tx[:width], 1 - tx[width:]]), 1e-9),
+        ]
+        phy = _FakePhy(script)
+        proto = _OddChunkPpr(phy, _passthrough, odd_width=odd_width,
+                             max_rounds=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            outcome = proto.deliver(payload, rate_index=0)
+        # The retransmitted frame really carried pad bits...
+        assert phy.sent[1].size == width + (-width) % 8
+        # ...and none of them leaked into the spliced estimate.
+        assert outcome.delivered
+        assert outcome.estimate.size == body.size
+        assert np.array_equal(outcome.estimate, body)
+        assert outcome.confidences.size == body.size
+
+
+class TestFeedbackAccounting:
+    """Bug 3: feedback must match the RecoveryOutcome contract —
+    request bits at their real size, ACK only on verified splice."""
+
+    def _true_body(self, n_payload, seed):
+        rng = np.random.default_rng(seed)
+        payload = random_bits(n_payload, rng)
+        return payload, append_crc32(payload)
+
+    def test_success_first_try_charges_single_ack(self):
+        payload, body = self._true_body(64, 2)
+        phy = _FakePhy([lambda tx, r=_rx_body(body, 1e-6): r])
+        proto = PprProtocol(phy, _passthrough, chunk_bits=32)
+        outcome = proto.deliver(payload, rate_index=0)
+        assert outcome.delivered and outcome.rounds == 1
+        assert outcome.feedback_bits == 1
+
+    def test_fallback_charges_log2_index_not_bitmap(self):
+        payload, body = self._true_body(64, 3)  # body 96 b, 3 chunks
+        p = np.full(body.size, 1e-4)
+        p[64:96] = 5e-4             # worst chunk, still sub-threshold
+        first = _corrupt(body, slice(64, 96))
+        script = [
+            lambda tx, r=_rx_body(first, p): r,
+            lambda tx: _rx_retx(tx, 1e-6),      # clean chunk copy
+        ]
+        phy = _FakePhy(script)
+        proto = PprProtocol(phy, _passthrough, chunk_bits=32)
+        outcome = proto.deliver(payload, rate_index=0)
+        assert outcome.delivered and outcome.rounds == 2
+        # ceil(log2(3)) = 2 bits of chunk index + the terminal ACK.
+        assert outcome.feedback_bits == math.ceil(math.log2(3)) + 1
+
+    def test_multi_round_charges_bitmap_per_request_plus_ack(self):
+        payload, body = self._true_body(64, 4)  # 3 chunks
+        p = np.full(body.size, 1e-6)
+        p[32:64] = 0.5
+        first = _corrupt(body, slice(32, 64))
+        script = [
+            lambda tx, r=_rx_body(first, p): r,
+            # Round 1 retransmission: still the wrong bits, slightly
+            # more confident so they are spliced but the CRC fails.
+            lambda tx: _rx_retx(first[32:64], 0.4),
+            # Round 2: the true chunk at high confidence.
+            lambda tx: _rx_retx(tx, 1e-6),
+        ]
+        phy = _FakePhy(script)
+        proto = PprProtocol(phy, _passthrough, chunk_bits=32)
+        outcome = proto.deliver(payload, rate_index=0)
+        assert outcome.delivered and outcome.rounds == 3
+        assert outcome.feedback_bits == 3 + 3 + 1   # two bitmaps + ACK
+
+    def test_give_up_charges_no_terminal_ack(self):
+        payload, body = self._true_body(64, 5)  # 3 chunks
+        p = np.full(body.size, 1e-6)
+        p[32:64] = 0.5
+        first = _corrupt(body, slice(32, 64))
+        script = [
+            lambda tx, r=_rx_body(first, p): r,
+            lambda tx: _rx_retx(first[32:64], 0.4),
+        ]
+        phy = _FakePhy(script)
+        proto = PprProtocol(phy, _passthrough, chunk_bits=32,
+                            max_rounds=2)
+        outcome = proto.deliver(payload, rate_index=0)
+        assert not outcome.delivered
+        assert outcome.feedback_bits == 3           # one bitmap, no ACK
+
+    def test_outcome_carries_salvage_state(self):
+        payload, body = self._true_body(64, 6)
+        phy = _FakePhy([lambda tx, r=_rx_body(body, 1e-6): r])
+        proto = PprProtocol(phy, _passthrough, chunk_bits=32)
+        outcome = proto.deliver(payload, rate_index=0)
+        assert isinstance(outcome, PprOutcome)
+        assert outcome.estimate.size == body.size
+        assert np.all(outcome.confidences < 1e-3)

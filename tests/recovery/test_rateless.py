@@ -1,0 +1,259 @@
+"""Property wall for the rateless (fountain) codec.
+
+Three guarantees the video pipeline leans on, each held under
+Hypothesis-driven randomization:
+
+* ``decode()`` returns a block *iff* :attr:`RatelessDecoder.decodable`
+  — the weight threshold and the GF(2) rank condition are exactly the
+  decode gate, at every point of the symbol stream;
+* decoding is bit-exact: whatever sufficient symbol subset arrives
+  (systematic, repair, shuffled, duplicated), the decoded block equals
+  the encoded data;
+* the symbol stream is a pure function of ``(seed, index)`` — the
+  determinism the campaign resume wall rides on.
+
+Plus the salvage rule: chunk gating on mean error probability, the
+``prod(1 - p)`` weight, and partial-tail exclusion.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.recovery.rateless import (RatelessDecoder, RatelessEncoder,
+                                     salvage_symbols)
+
+
+def _data(seed: int, n_bits: int) -> np.ndarray:
+    rng = np.random.default_rng((seed, 7))
+    return rng.integers(0, 2, n_bits).astype(np.uint8)
+
+
+@st.composite
+def _block(draw, max_chunks=24):
+    """(n_bits, symbol_bits) with k bounded so GF(2) work stays small
+    while still covering 1-bit symbols and ragged tails."""
+    symbol_bits = draw(st.integers(1, 96))
+    chunks = draw(st.integers(1, max_chunks))
+    tail = draw(st.integers(1, symbol_bits))
+    n_bits = (chunks - 1) * symbol_bits + tail
+    return n_bits, symbol_bits
+
+
+# --------------------------------------------------------------------
+# decode() iff decodable — at every prefix of the stream
+# --------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(block=_block(), seed=st.integers(0, 2**16),
+       skip=st.integers(0, 3))
+def test_decode_iff_decodable_along_stream(block, seed, skip):
+    """Walking an arbitrary symbol stream, the decode gate and the
+    decode result flip to true at exactly the same step."""
+    n_bits, symbol_bits = block
+    data = _data(seed, n_bits)
+    enc = RatelessEncoder(data, symbol_bits, seed=seed)
+    dec = RatelessDecoder(n_bits, symbol_bits, seed=seed,
+                          overhead=0.0)
+    # Skip a few systematic symbols so repair symbols must carry the
+    # block; bound the stream so the test always terminates.
+    index = 0
+    for _ in range(6 * enc.k + 20):
+        if dec.decodable:
+            break
+        assert dec.decode() is None
+        if index < skip:
+            index += 1
+            continue
+        dec.add(index, enc.symbol(index))
+        index += 1
+    assert dec.decodable, "stream never became decodable"
+    decoded = dec.decode()
+    assert decoded is not None
+    np.testing.assert_array_equal(decoded, data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(block=_block(), seed=st.integers(0, 2**16),
+       overhead=st.floats(0.05, 0.8))
+def test_weight_threshold_gates_decode(block, seed, overhead):
+    """Full rank with insufficient accumulated weight is *not*
+    decodable; topping the weight up (better copies or more repair
+    symbols) flips the gate."""
+    n_bits, symbol_bits = block
+    data = _data(seed, n_bits)
+    enc = RatelessEncoder(data, symbol_bits, seed=seed)
+    dec = RatelessDecoder(n_bits, symbol_bits, seed=seed,
+                          overhead=overhead)
+    # All k systematic symbols at a weight that keeps the total just
+    # under k*(1+overhead): rank is complete, weight is not.
+    low = (1.0 + overhead / 2.0) / (1.0 + overhead)
+    for i in range(enc.k):
+        dec.add(i, enc.symbol(i), weight=low)
+    assert dec.rank == dec.k
+    assert not dec.decodable
+    assert dec.decode() is None
+    # Fresh repair symbols add weight without needing new rank.
+    index = enc.k
+    for _ in range(10 * enc.k + 20):
+        if dec.decodable:
+            break
+        dec.add(index, enc.symbol(index))
+        index += 1
+    assert dec.decodable
+    np.testing.assert_array_equal(dec.decode(), data)
+
+
+def test_rank_deficiency_blocks_decode():
+    """Weight above threshold with a rank hole stays undecodable."""
+    data = _data(3, 256)
+    enc = RatelessEncoder(data, 32, seed=3)
+    dec = RatelessDecoder(256, 32, seed=3, overhead=0.0)
+    for i in range(enc.k - 1):          # leave symbol k-1 out
+        dec.add(i, enc.symbol(i))
+    # Re-adding known indices only bumps weight, never rank.
+    for i in range(enc.k - 1):
+        dec.add(i, enc.symbol(i))
+    assert dec.received_weight >= dec.threshold - 1
+    assert dec.rank == dec.k - 1
+    assert not dec.decodable
+    assert dec.decode() is None
+    dec.add(enc.k - 1, enc.symbol(enc.k - 1))
+    assert dec.decodable
+    np.testing.assert_array_equal(dec.decode(), data)
+
+
+# --------------------------------------------------------------------
+# bit-exactness under arbitrary sufficient subsets
+# --------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(block=_block(), seed=st.integers(0, 2**16),
+       data_seed=st.integers(0, 2**16),
+       order_seed=st.integers(0, 2**16))
+def test_decode_is_bit_exact_for_shuffled_repair_streams(
+        block, seed, data_seed, order_seed):
+    """A shuffled, duplicated, repair-heavy symbol subset decodes to
+    exactly the encoded bits."""
+    n_bits, symbol_bits = block
+    data = _data(data_seed, n_bits)
+    enc = RatelessEncoder(data, symbol_bits, seed=seed)
+    order = list(range(2 * enc.k + 10))
+    np.random.default_rng(order_seed).shuffle(order)
+    dec = RatelessDecoder(n_bits, symbol_bits, seed=seed,
+                          overhead=0.1)
+    for index in order + order[: enc.k // 2]:       # duplicates too
+        if dec.decodable:
+            break
+        dec.add(index, enc.symbol(index))
+    assert dec.decodable
+    np.testing.assert_array_equal(dec.decode(), data)
+
+
+# --------------------------------------------------------------------
+# determinism per seed
+# --------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(block=_block(), seed=st.integers(0, 2**16))
+def test_symbol_stream_is_deterministic_per_seed(block, seed):
+    n_bits, symbol_bits = block
+    data = _data(seed, n_bits)
+    a = RatelessEncoder(data, symbol_bits, seed=seed)
+    b = RatelessEncoder(data.copy(), symbol_bits, seed=seed)
+    for index in range(3 * a.k + 8):
+        np.testing.assert_array_equal(a.symbol(index),
+                                      b.symbol(index))
+        np.testing.assert_array_equal(a.coefficients(index),
+                                      b.coefficients(index))
+
+
+def test_different_seeds_give_different_repair_symbols():
+    data = _data(11, 512)
+    a = RatelessEncoder(data, 32, seed=1)
+    b = RatelessEncoder(data, 32, seed=2)
+    repair = range(a.k, a.k + 12)
+    assert any(not np.array_equal(a.coefficients(i),
+                                  b.coefficients(i)) for i in repair)
+
+
+def test_duplicate_symbol_keeps_best_weight_only():
+    data = _data(5, 128)
+    enc = RatelessEncoder(data, 32, seed=5)
+    dec = RatelessDecoder(128, 32, seed=5, overhead=0.0)
+    dec.add(0, enc.symbol(0), weight=0.4)
+    dec.add(0, enc.symbol(0), weight=0.9)
+    dec.add(0, enc.symbol(0), weight=0.2)
+    assert dec.received_weight == pytest.approx(0.9)
+    assert dec.rank == 1
+
+
+def test_weight_and_size_validation():
+    dec = RatelessDecoder(64, 32, seed=0)
+    with pytest.raises(ValueError):
+        dec.add(0, np.zeros(32, dtype=np.uint8), weight=0.0)
+    with pytest.raises(ValueError):
+        dec.add(0, np.zeros(32, dtype=np.uint8), weight=1.5)
+    with pytest.raises(ValueError):
+        dec.add(0, np.zeros(16, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        RatelessDecoder(0, 32)
+    with pytest.raises(ValueError):
+        RatelessEncoder(np.zeros(0, dtype=np.uint8), 32)
+    with pytest.raises(ValueError):
+        RatelessEncoder(np.zeros(8, dtype=np.uint8), 0)
+
+
+# --------------------------------------------------------------------
+# salvage rule
+# --------------------------------------------------------------------
+
+def test_salvage_gates_on_mean_error_probability():
+    body = np.arange(96) % 2
+    p = np.full(96, 1e-5)
+    p[32:64] = 0.3                      # hopeless middle chunk
+    out = salvage_symbols(body, p, symbol_bits=32,
+                          max_error_prob=1e-3)
+    assert [s.chunk for s in out] == [0, 2]
+    np.testing.assert_array_equal(out[0].bits, body[:32])
+    np.testing.assert_array_equal(out[1].bits, body[64:])
+    for s in out:
+        assert s.weight == pytest.approx(float(np.prod(1 - p[:32])))
+
+
+def test_salvage_excludes_partial_tail_chunk():
+    body = np.zeros(80, dtype=np.uint8)     # 2.5 chunks of 32
+    p = np.full(80, 1e-6)
+    out = salvage_symbols(body, p, symbol_bits=32)
+    assert [s.chunk for s in out] == [0, 1]
+
+
+def test_salvage_requires_aligned_shapes():
+    with pytest.raises(ValueError):
+        salvage_symbols(np.zeros(64, dtype=np.uint8),
+                        np.zeros(32), symbol_bits=32)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16), symbol_bits=st.integers(8, 64),
+       n_chunks=st.integers(1, 8))
+def test_salvaged_chunks_decode_through_the_decoder(seed, symbol_bits,
+                                                    n_chunks):
+    """End-to-end: clean systematic chunks salvaged from a frame body
+    feed the decoder and reproduce the data."""
+    n_bits = symbol_bits * n_chunks
+    data = _data(seed, n_bits)
+    enc = RatelessEncoder(data, symbol_bits, seed=seed)
+    p = np.full(n_bits, 1e-6)
+    salvaged = salvage_symbols(data, p, symbol_bits,
+                               max_error_prob=1e-3)
+    assert len(salvaged) == n_chunks
+    dec = RatelessDecoder(n_bits, symbol_bits, seed=seed,
+                          overhead=0.0)
+    for s in salvaged:
+        dec.add(s.chunk, s.bits, weight=s.weight)
+    extra = enc.k
+    while not dec.decodable:
+        dec.add(extra, enc.symbol(extra))
+        extra += 1
+    np.testing.assert_array_equal(dec.decode(), data)

@@ -18,7 +18,8 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _MD_FILES = ["README.md", "docs/architecture.md",
              "docs/reproducing.md", "docs/extending.md",
              "docs/campaigns.md", "docs/mesh.md", "docs/slotmac.md",
-             "docs/resilience.md", "docs/service.md"]
+             "docs/resilience.md", "docs/service.md",
+             "docs/video.md"]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)#]+)(#[^)]*)?\)")
 #: Backticked tokens that look like repo paths (contain a slash and

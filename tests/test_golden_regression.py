@@ -30,6 +30,9 @@ _MAC_GOLDEN_PATH = os.path.join(
 _MESH_GOLDEN_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)),
     "golden", "mesh_chain.json")
+_VIDEO_GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "golden", "video_qoe.json")
 
 #: Tight but not bit-exact: exp/log implementations may differ in the
 #: last ulp across platforms/BLAS builds, and BER estimates span ~60
@@ -193,6 +196,49 @@ def test_mesh_chain_point_matches_golden(mesh_golden, point):
             f"{point}: frame logs shifted (regenerate if intentional)"
     assert got["goodput_mbps"] == \
         pytest.approx(want["goodput_mbps"], rel=_RTOL)
+
+
+@pytest.fixture(scope="module")
+def video_golden():
+    with open(_VIDEO_GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _video_point_ids():
+    with open(_VIDEO_GOLDEN_PATH) as fh:
+        return sorted(json.load(fh)["points"])
+
+
+@pytest.mark.parametrize("backend", _video_point_ids())
+def test_video_qoe_point_matches_golden(video_golden, backend):
+    """Video-level golden: the rateless-vs-ARQ QoE point of a tiny
+    pinned workload — decodable-frame rates, rebuffer times, packet
+    counts and exact decode-time digests per backend — so a fountain-
+    codec, salvage-rule or streaming-loop refactor cannot silently
+    shift the video comparison."""
+    compute_video_point = _golden_module().compute_video_point
+
+    want = video_golden["points"][backend]
+    got = compute_video_point(video_golden["config"], backend)
+    assert sorted(got) == sorted(want), \
+        f"video/{backend}: metric set changed"
+    for key in ("arq/packets", "rateless/packets",
+                "rateless/poisoned_frames"):
+        assert got[key] == want[key], f"video/{backend}: {key} shifted"
+    # Decode-time digests are exact on the surrogate; under the full
+    # BCJR pipeline a last-ulp libm difference could legitimately move
+    # a marginal frame (same policy as the MAC/mesh goldens).
+    if backend == "surrogate":
+        for key in ("arq/digest", "rateless/digest"):
+            assert got[key] == want[key], \
+                f"video/{backend}: {key} shifted (regenerate if " \
+                f"intentional)"
+    for key in want:
+        if key.endswith("digest"):
+            continue
+        assert got[key] == pytest.approx(want[key], rel=_RTOL,
+                                         abs=_ATOL), \
+            f"video/{backend}: {key} shifted"
 
 
 def test_fig08_ber_points_match_golden(goldens):

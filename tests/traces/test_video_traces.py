@@ -1,0 +1,78 @@
+"""The GoP video workload: generator, persistence, reference trace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces.video import (VideoTrace, generate_video_trace,
+                                load_video_trace, reference_video_trace,
+                                save_video_trace)
+
+
+@settings(max_examples=25, deadline=None)
+@given(duration=st.floats(0.2, 3.0), fps=st.sampled_from((24.0, 30.0)),
+       gop=st.integers(1, 20), seed=st.integers(0, 2**16))
+def test_generated_trace_structure(duration, fps, gop, seed):
+    trace = generate_video_trace(duration=duration, fps=fps, gop=gop,
+                                 seed=seed)
+    assert trace.n_frames == max(int(round(duration * fps)), 1)
+    for f in trace.frames:
+        assert f.kind == ("I" if f.index % gop == 0 else "P")
+        assert f.size_bits % 8 == 0 and f.size_bits >= 256
+        assert f.deadline == pytest.approx(
+            trace.startup_delay + (f.index + 1) / fps)
+    deadlines = [f.deadline for f in trace.frames]
+    assert deadlines == sorted(deadlines)
+
+
+def test_generated_trace_hits_target_bitrate():
+    trace = generate_video_trace(duration=8.0, fps=30.0, gop=15,
+                                 mean_bitrate_bps=4.8e5, seed=4)
+    assert trace.mean_bitrate_bps == pytest.approx(4.8e5, rel=0.25)
+    i_sizes = [f.size_bits for f in trace.frames if f.kind == "I"]
+    p_sizes = [f.size_bits for f in trace.frames if f.kind == "P"]
+    assert np.mean(i_sizes) > 3.0 * np.mean(p_sizes)
+
+
+def test_generator_is_deterministic_and_seed_sensitive():
+    a = generate_video_trace(seed=9)
+    b = generate_video_trace(seed=9)
+    c = generate_video_trace(seed=10)
+    assert a == b
+    assert a != c
+
+
+def test_generator_validates_arguments():
+    with pytest.raises(ValueError):
+        generate_video_trace(gop=0)
+    with pytest.raises(ValueError):
+        generate_video_trace(duration=-1.0)
+    with pytest.raises(ValueError):
+        generate_video_trace(fps=0.0)
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = generate_video_trace(duration=1.0, seed=3)
+    path = tmp_path / "trace.json"
+    save_video_trace(trace, str(path))
+    assert load_video_trace(str(path)) == trace
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(ValueError):
+        load_video_trace(str(path))
+
+
+def test_reference_trace_matches_its_generator():
+    """The checked-in reference is exactly
+    ``generate_video_trace(seed=2009)`` — regenerating must not move
+    the goldens."""
+    ref = reference_video_trace()
+    assert isinstance(ref, VideoTrace)
+    assert ref.n_frames == 120
+    assert ref.fps == 30.0 and ref.gop == 15
+    regen = generate_video_trace(duration=4.0, fps=30.0, gop=15,
+                                 mean_bitrate_bps=4.8e5, seed=2009)
+    assert ref == regen
